@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks for the performance-critical components:
+//! the compression engines (the paper assumes single-cycle hardware — the
+//! software model must at least be cheap), the COPR predictor, the
+//! Metadata-Cache, the scrambler, BLEM, and the DRAM channel scheduler.
+
+use attache_cache::{MetadataCache, MetadataCacheConfig};
+use attache_compress::{bdi::Bdi, fpc::Fpc, Block, CompressionEngine, Compressor};
+use attache_core::blem::Blem;
+use attache_core::copr::{Copr, CoprConfig};
+use attache_core::scramble::Scrambler;
+use attache_dram::{
+    AccessKind, AccessWidth, DramConfig, MemRequest, MemorySystem, Origin, PowerParams, SubrankId,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sample_blocks() -> Vec<Block> {
+    let mut blocks = Vec::new();
+    blocks.push([0u8; 64]); // zeros
+    let mut ints = [0u8; 64];
+    for (i, c) in ints.chunks_exact_mut(4).enumerate() {
+        c.copy_from_slice(&(i as u32 % 50).to_le_bytes());
+    }
+    blocks.push(ints); // FPC-friendly
+    let mut ptrs = [0u8; 64];
+    for (i, c) in ptrs.chunks_exact_mut(8).enumerate() {
+        c.copy_from_slice(&(0x7F00_0000_1000u64 + 64 * i as u64).to_le_bytes());
+    }
+    blocks.push(ptrs); // BDI-friendly
+    let mut rnd = [0u8; 64];
+    let mut s = 0x1234_5678u64;
+    for b in rnd.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *b = (s >> 32) as u8;
+    }
+    blocks.push(rnd); // incompressible
+    blocks
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let bdi = Bdi::new();
+    let fpc = Fpc::new();
+    let engine = CompressionEngine::new();
+    c.bench_function("bdi_compress_4blocks", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(bdi.compress(black_box(blk)));
+            }
+        })
+    });
+    c.bench_function("fpc_compress_4blocks", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(fpc.compress(black_box(blk)));
+            }
+        })
+    });
+    c.bench_function("engine_best_of_4blocks", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(engine.compress(black_box(blk)));
+            }
+        })
+    });
+    let images: Vec<_> = blocks.iter().map(|b| engine.compress(b)).collect();
+    c.bench_function("engine_decompress_4blocks", |b| {
+        b.iter(|| {
+            for img in &images {
+                black_box(engine.decompress(black_box(img)));
+            }
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut copr = Copr::new(CoprConfig::paper_default(1 << 24));
+    for i in 0..100_000u64 {
+        copr.train(i % 50_000, i % 3 != 0);
+    }
+    c.bench_function("copr_predict", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(977);
+            black_box(copr.predict(black_box(i % 60_000)))
+        })
+    });
+    c.bench_function("copr_train", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(977);
+            copr.train(black_box(i % 60_000), !i.is_multiple_of(3));
+        })
+    });
+}
+
+fn bench_metadata_cache(c: &mut Criterion) {
+    let mut mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
+    c.bench_function("metadata_cache_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(12_345);
+            black_box(mc.lookup(black_box(i % (1 << 22))))
+        })
+    });
+}
+
+fn bench_blem_and_scrambler(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let scrambler = Scrambler::new(7);
+    c.bench_function("scramble_block", |b| {
+        b.iter(|| black_box(scrambler.scramble(black_box(42), black_box(&blocks[2]))))
+    });
+    let mut blem = Blem::new(7);
+    c.bench_function("blem_write_line_4blocks", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            for blk in &blocks {
+                addr = addr.wrapping_add(1);
+                black_box(blem.write_line(addr, blk));
+            }
+        })
+    });
+    c.bench_function("blem_probe_line", |b| {
+        b.iter(|| black_box(blem.probe_line(black_box(5), black_box(&blocks[3]))))
+    });
+}
+
+fn bench_dram_channel(c: &mut Criterion) {
+    c.bench_function("dram_channel_1k_random_reads", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+            let mut state = 0x2545_F491u64;
+            let mut issued = 0u64;
+            let mut done = 0usize;
+            while done < 1_000 {
+                while issued < 1_000 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let line = state % (1 << 22);
+                    let width = if state & 1 == 0 {
+                        AccessWidth::Full
+                    } else {
+                        AccessWidth::Half(SubrankId(((state >> 1) & 1) as u8))
+                    };
+                    let req = MemRequest {
+                        id: issued,
+                        line_addr: line,
+                        kind: AccessKind::Read,
+                        width,
+                        origin: Origin::Demand { core: 0 },
+                        arrival: mem.now(),
+                    };
+                    if mem.enqueue(req).is_err() {
+                        break;
+                    }
+                    issued += 1;
+                }
+                mem.tick();
+                done += mem.drain_completions().len();
+            }
+            black_box(mem.stats())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_compression,
+        bench_predictor,
+        bench_metadata_cache,
+        bench_blem_and_scrambler,
+        bench_dram_channel
+);
+criterion_main!(micro);

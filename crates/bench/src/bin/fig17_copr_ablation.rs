@@ -1,0 +1,83 @@
+//! Fig. 17: contribution of COPR's components — PaPR alone, PaPR+GI, and
+//! the full predictor with LiPR.
+//!
+//! Paper: PaPR alone buys 11.5% speedup, adding GI reaches 15.3%, and
+//! LiPR matters mainly for the mixed workloads.
+
+use attache_bench::{geo_mean, ExperimentConfig, ResultSet};
+use attache_core::copr::CoprConfig;
+use attache_sim::{MetadataStrategyKind, System};
+use attache_workloads::{mixes, Profile};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let set = ResultSet::ensure(&cfg);
+
+    // A representative subset (full-suite ablation would triple the sweep):
+    // two streaming, one pointer-chasing, one graph, plus both mixes.
+    let rate_subset = ["lbm", "STREAM", "mcf", "bc.kron"];
+    let mix_list = mixes();
+
+    // GI sizing: the paper splits the occupied memory into eight regions.
+    let total_lines: u64 = Profile::by_name("lbm").unwrap().footprint_lines * 8;
+
+    #[allow(clippy::type_complexity)]
+    let variants: [(&str, fn(u64) -> CoprConfig); 3] = [
+        ("PaPR", CoprConfig::papr_only),
+        ("PaPR+GI", CoprConfig::papr_gi),
+        ("PaPR+GI+LiPR", CoprConfig::paper_default),
+    ];
+
+    println!("Fig. 17 — speedup by COPR component (subset incl. both mixes)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "workload", "PaPR", "PaPR+GI", "PaPR+GI+LiPR"
+    );
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let run_one = |name: &str, variant: usize| -> f64 {
+        let make = variants[variant].1;
+        let mut sim_cfg = cfg
+            .sim_config()
+            .with_strategy(MetadataStrategyKind::Attache);
+        sim_cfg.copr = Some(make(total_lines));
+        let report = if let Some(p) = Profile::by_name(name) {
+            System::run_rate_mode(&sim_cfg, p, cfg.seed)
+        } else {
+            let mix = mix_list.iter().find(|m| m.name == name).expect("mix name");
+            System::run_mix(&sim_cfg, mix, cfg.seed)
+        };
+        let base = set
+            .get(name, MetadataStrategyKind::Baseline)
+            .expect("baseline row");
+        base.bus_cycles as f64 / report.bus_cycles as f64
+    };
+
+    let mut names: Vec<&str> = rate_subset.to_vec();
+    names.extend(mix_list.iter().map(|m| m.name));
+    for name in &names {
+        let mut cells = Vec::new();
+        for v in 0..3 {
+            eprintln!("[fig17] {} / {}", name, variants[v].0);
+            let s = run_one(name, v);
+            columns[v].push(s);
+            cells.push(s);
+        }
+        println!(
+            "{:<10} {:>9.3}x {:>9.3}x {:>13.3}x",
+            name, cells[0], cells[1], cells[2]
+        );
+    }
+    println!();
+    let gm: Vec<f64> = columns.iter().map(|c| geo_mean(c)).collect();
+    println!(
+        "geo-mean   {:>9.3}x {:>9.3}x {:>13.3}x",
+        gm[0], gm[1], gm[2]
+    );
+    println!();
+    println!("paper   : PaPR 1.115x | PaPR+GI 1.153x | LiPR helps mainly the mixes");
+    println!(
+        "measured: PaPR {:.3}x | PaPR+GI {:.3}x | full {:.3}x",
+        gm[0], gm[1], gm[2]
+    );
+}

@@ -1,0 +1,28 @@
+//! Table I: trading CID width for additional information bits.
+//!
+//! Paper: 15 bits -> 0.003% collisions, 14 -> 0.006%, 13 -> 0.01%.
+
+use attache_core::header::CidConfig;
+
+fn main() {
+    println!("Table I — extending CID to store additional information");
+    println!(
+        "{:>9} {:>12} {:>24} {:>12}",
+        "CID size", "info bits", "collision probability", "paper"
+    );
+    for (bits, paper) in [(15u8, "0.003%"), (14, "0.006%"), (13, "0.01%")] {
+        let cfg = CidConfig::new(bits);
+        println!(
+            "{:>9} {:>12} {:>23.4}% {:>12}",
+            bits,
+            cfg.info_bits(),
+            100.0 * cfg.collision_probability(),
+            paper
+        );
+    }
+    println!();
+    println!(
+        "The evaluated system uses the 14-bit CID: one info bit selects between\n\
+         BDI and FPC on the fly (§IV-A.5), and the collision rate stays negligible."
+    );
+}

@@ -1,0 +1,23 @@
+//! The experiment harness for the Attaché reproduction.
+//!
+//! Every table and figure in the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it (see DESIGN.md §4 for the index). The
+//! expensive part — the 22-workload × 4-strategy sweep behind Figs. 1 and
+//! 12-15 — runs once and is cached as a TSV under `results/`, so the
+//! figure binaries after the first are instant.
+//!
+//! Knobs (environment variables):
+//!
+//! * `ATTACHE_INSTR` — measured instructions per core (default 600000).
+//! * `ATTACHE_WARMUP` — warm-up instructions per core (default 100000).
+//! * `ATTACHE_SEED` — the run seed (default 42).
+//! * `ATTACHE_RESULTS` — cache directory (default `results`).
+//! * `ATTACHE_QUICK` — if set, a fast smoke configuration (40k/8k).
+
+#![warn(missing_docs)]
+
+pub mod results;
+pub mod runner;
+
+pub use results::{ResultRow, ResultSet};
+pub use runner::{geo_mean, ExperimentConfig};

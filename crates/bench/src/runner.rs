@@ -1,0 +1,88 @@
+//! Run-configuration plumbing shared by the figure binaries.
+
+use attache_sim::SimConfig;
+
+/// Harness-level configuration, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from the environment (see the crate docs).
+    pub fn from_env() -> Self {
+        if std::env::var("ATTACHE_QUICK").is_ok() {
+            return Self {
+                instructions: env_u64("ATTACHE_INSTR", 40_000),
+                warmup: env_u64("ATTACHE_WARMUP", 8_000),
+                seed: env_u64("ATTACHE_SEED", 42),
+            };
+        }
+        Self {
+            instructions: env_u64("ATTACHE_INSTR", 600_000),
+            warmup: env_u64("ATTACHE_WARMUP", 100_000),
+            seed: env_u64("ATTACHE_SEED", 42),
+        }
+    }
+
+    /// The Table II simulator configuration at this run length.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::table2_baseline().with_instructions(self.instructions, self.warmup)
+    }
+
+    /// A short tag identifying this configuration in cache file names.
+    pub fn tag(&self) -> String {
+        format!("i{}_w{}_s{}", self.instructions, self.warmup, self.seed)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_identical_values() {
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_is_scale_symmetric() {
+        let g = geo_mean(&[0.5, 2.0]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geo_mean_rejects_empty() {
+        let _ = geo_mean(&[]);
+    }
+}

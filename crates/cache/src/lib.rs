@@ -1,0 +1,36 @@
+//! Cache models for the Attaché memory-compression stack.
+//!
+//! Provides a generic [`SetAssocCache`] with pluggable replacement policies
+//! (LRU, Random, SRRIP, DRRIP with set-dueling, and SHiP with a signature
+//! history counter table — the policies compared in Fig. 16 of the Attaché
+//! paper), plus two concrete cache instances used by the simulator:
+//!
+//! * [`Llc`] — the 8MB/8-way shared last-level cache from Table II.
+//! * [`MetadataCache`] — the on-controller Metadata-Cache baseline whose
+//!   eviction/install traffic Attaché eliminates (Figs. 1, 5, 15, 16).
+//!
+//! # Example
+//!
+//! ```
+//! use attache_cache::{CacheConfig, PolicyKind, SetAssocCache};
+//!
+//! let mut cache = SetAssocCache::new(CacheConfig {
+//!     sets: 64,
+//!     ways: 4,
+//!     policy: PolicyKind::Lru,
+//! });
+//! assert!(!cache.access(0x1000, false, 0).hit);
+//! assert!(cache.access(0x1000, false, 0).hit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod llc;
+pub mod metadata_cache;
+pub mod policy;
+pub mod set_assoc;
+
+pub use llc::{Llc, LlcAccess, LlcConfig};
+pub use metadata_cache::{MetadataCache, MetadataCacheConfig, MetadataLookup};
+pub use policy::PolicyKind;
+pub use set_assoc::{AccessOutcome, CacheConfig, CacheStats, SetAssocCache};

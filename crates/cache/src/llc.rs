@@ -1,0 +1,176 @@
+//! The shared last-level cache from the Attaché paper's baseline (Table II):
+//! 8MB, 8-way, 64-byte lines, 20-cycle access latency.
+
+use crate::policy::PolicyKind;
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache};
+
+/// Construction parameters for the [`Llc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in CPU cycles.
+    pub latency_cycles: u64,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+}
+
+impl LlcConfig {
+    /// The Table II configuration: 8MB, 8-way, 64-byte lines, 20 cycles.
+    pub fn table2() -> Self {
+        Self {
+            size_bytes: 8 << 20,
+            ways: 8,
+            line_bytes: 64,
+            latency_cycles: 20,
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+/// The result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcAccess {
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// On a miss that displaced a dirty victim: the victim's **line
+    /// address**, which must be written back to memory.
+    pub writeback: Option<u64>,
+}
+
+/// A shared writeback LLC in front of the memory system.
+///
+/// # Example
+///
+/// ```
+/// use attache_cache::{Llc, LlcConfig};
+///
+/// let mut llc = Llc::new(LlcConfig::table2());
+/// let first = llc.access(0x4000, false);
+/// assert!(!first.hit);
+/// assert!(llc.access(0x4000, false).hit);
+/// ```
+#[derive(Debug)]
+pub struct Llc {
+    cache: SetAssocCache,
+    config: LlcConfig,
+}
+
+impl Llc {
+    /// Creates an empty LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn new(config: LlcConfig) -> Self {
+        let lines = config.size_bytes / config.line_bytes;
+        assert!(
+            lines.is_multiple_of(config.ways),
+            "LLC lines ({lines}) must divide by ways ({})",
+            config.ways
+        );
+        let sets = lines / config.ways;
+        Self {
+            cache: SetAssocCache::new(CacheConfig {
+                sets,
+                ways: config.ways,
+                policy: config.policy,
+            }),
+            config,
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> LlcConfig {
+        self.config
+    }
+
+    /// Accesses a **byte address**; returns hit/miss and any dirty victim
+    /// (as a line address) that must be written back.
+    pub fn access(&mut self, byte_addr: u64, write: bool) -> LlcAccess {
+        let line_addr = byte_addr / self.config.line_bytes as u64;
+        self.access_line(line_addr, write)
+    }
+
+    /// Checks residency of a **line address** without disturbing state.
+    pub fn probe_line(&self, line_addr: u64) -> bool {
+        self.cache.probe(line_addr)
+    }
+
+    /// Accesses a **line address** directly.
+    pub fn access_line(&mut self, line_addr: u64, write: bool) -> LlcAccess {
+        let signature = line_addr >> 6; // 4KB-region signature
+        let out = self.cache.access(line_addr, write, signature);
+        LlcAccess {
+            hit: out.hit,
+            writeback: out.evicted.filter(|e| e.dirty).map(|e| e.line_addr),
+        }
+    }
+
+    /// The access latency in CPU cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency_cycles
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometry() {
+        let llc = Llc::new(LlcConfig::table2());
+        assert_eq!(llc.cache.capacity_lines(), (8 << 20) / 64);
+        assert_eq!(llc.config().ways, 8);
+        assert_eq!(llc.latency(), 20);
+    }
+
+    #[test]
+    fn byte_addresses_in_same_line_hit() {
+        let mut llc = Llc::new(LlcConfig::table2());
+        llc.access(0x1000, false);
+        assert!(llc.access(0x1038, false).hit, "same 64B line");
+        assert!(!llc.access(0x1040, false).hit, "next line");
+    }
+
+    #[test]
+    fn dirty_victim_produces_writeback() {
+        let mut cfg = LlcConfig::table2();
+        cfg.size_bytes = 64 * 8; // one set, 8 ways
+        let mut llc = Llc::new(cfg);
+        llc.access_line(0, true);
+        for i in 1..=8 {
+            llc.access_line(i, false);
+        }
+        // Line 0 was LRU and dirty; some access must have written it back.
+        assert_eq!(llc.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn streaming_misses_everywhere() {
+        let mut llc = Llc::new(LlcConfig::table2());
+        for i in 0..10_000u64 {
+            assert!(!llc.access_line(i * 3 + 1_000_000, false).hit);
+        }
+    }
+}

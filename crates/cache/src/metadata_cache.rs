@@ -1,0 +1,262 @@
+//! The Metadata-Cache baseline that Attaché replaces.
+//!
+//! Compression metadata lives in a reserved DRAM region; the memory
+//! controller caches recently-used metadata lines in a small on-controller
+//! cache (Memzip-style, see §II-G / §IV-C.1 of the paper). Each 64-byte
+//! metadata line holds 4 bits per data block and therefore covers the 128
+//! blocks of one 8KB DRAM row (Fig. 7).
+//!
+//! The point of the Attaché paper is the *traffic* this cache generates:
+//!
+//! * a **miss** issues an extra memory *read* to install the metadata line;
+//! * a **dirty eviction** issues an extra memory *write*.
+//!
+//! Both are surfaced in [`MetadataLookup`] so the simulator can inject them
+//! into the memory system, reproducing Figs. 1, 5, 15 and 16.
+
+use crate::policy::PolicyKind;
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache};
+
+/// Data blocks covered by one 64-byte metadata line (4 bits per block).
+pub const BLOCKS_PER_METADATA_LINE: u64 = 128;
+
+/// Construction parameters for a [`MetadataCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataCacheConfig {
+    /// Capacity in bytes (the paper sweeps 64KB..1MB; 1MB is "impractically
+    /// large" but used as the optimistic baseline).
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy (LRU in the baseline; DRRIP/SHiP for Fig. 16).
+    pub policy: PolicyKind,
+    /// Lookup latency in CPU cycles (8, same as an L2 per §V).
+    pub latency_cycles: u64,
+}
+
+impl MetadataCacheConfig {
+    /// The paper's optimistic 1MB LRU Metadata-Cache.
+    pub fn paper_1mb() -> Self {
+        Self {
+            size_bytes: 1 << 20,
+            ways: 8,
+            policy: PolicyKind::Lru,
+            latency_cycles: 8,
+        }
+    }
+
+    /// Same geometry with a different capacity, for the Fig. 5 sweep.
+    pub fn with_size(size_bytes: usize) -> Self {
+        Self {
+            size_bytes,
+            ..Self::paper_1mb()
+        }
+    }
+}
+
+impl Default for MetadataCacheConfig {
+    fn default() -> Self {
+        Self::paper_1mb()
+    }
+}
+
+/// The outcome of a metadata lookup for one data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataLookup {
+    /// Whether the covering metadata line was resident.
+    pub hit: bool,
+    /// A miss requires one extra memory **read** (the install).
+    pub install_read: bool,
+    /// The fill displaced a dirty metadata line: one extra memory **write**.
+    pub eviction_write: bool,
+}
+
+/// Traffic counters attributable to metadata management.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataTraffic {
+    /// Extra memory reads (installs on metadata misses).
+    pub install_reads: u64,
+    /// Extra memory writes (dirty metadata evictions).
+    pub eviction_writes: u64,
+}
+
+/// The on-controller Metadata-Cache.
+///
+/// # Example
+///
+/// ```
+/// use attache_cache::{MetadataCache, MetadataCacheConfig};
+///
+/// let mut mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
+/// let first = mc.lookup(0); // cold miss: install read
+/// assert!(first.install_read);
+/// let second = mc.lookup(1); // same 128-block region: hit
+/// assert!(second.hit);
+/// ```
+#[derive(Debug)]
+pub struct MetadataCache {
+    cache: SetAssocCache,
+    config: MetadataCacheConfig,
+    traffic: MetadataTraffic,
+}
+
+impl MetadataCache {
+    /// Creates an empty Metadata-Cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn new(config: MetadataCacheConfig) -> Self {
+        let lines = config.size_bytes / 64;
+        assert!(
+            lines.is_multiple_of(config.ways),
+            "metadata cache lines ({lines}) must divide by ways ({})",
+            config.ways
+        );
+        Self {
+            cache: SetAssocCache::new(CacheConfig {
+                sets: lines / config.ways,
+                ways: config.ways,
+                policy: config.policy,
+            }),
+            config,
+            traffic: MetadataTraffic::default(),
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> MetadataCacheConfig {
+        self.config
+    }
+
+    fn metadata_line_of(data_line_addr: u64) -> u64 {
+        data_line_addr / BLOCKS_PER_METADATA_LINE
+    }
+
+    /// Looks up the metadata for `data_line_addr` (a data **line** address),
+    /// installing the covering metadata line on a miss.
+    pub fn lookup(&mut self, data_line_addr: u64) -> MetadataLookup {
+        let meta_line = Self::metadata_line_of(data_line_addr);
+        let signature = meta_line >> 4;
+        let out = self.cache.access(meta_line, false, signature);
+        let eviction_write = out.evicted.map(|e| e.dirty).unwrap_or(false);
+        if !out.hit {
+            self.traffic.install_reads += 1;
+        }
+        if eviction_write {
+            self.traffic.eviction_writes += 1;
+        }
+        MetadataLookup {
+            hit: out.hit,
+            install_read: !out.hit,
+            eviction_write,
+        }
+    }
+
+    /// Records a metadata **update** for `data_line_addr` (the block's
+    /// compressibility changed on a write). The covering metadata line is
+    /// installed if absent and marked dirty.
+    pub fn update(&mut self, data_line_addr: u64) -> MetadataLookup {
+        let meta_line = Self::metadata_line_of(data_line_addr);
+        let signature = meta_line >> 4;
+        let out = self.cache.access(meta_line, true, signature);
+        let eviction_write = out.evicted.map(|e| e.dirty).unwrap_or(false);
+        if !out.hit {
+            self.traffic.install_reads += 1;
+        }
+        if eviction_write {
+            self.traffic.eviction_writes += 1;
+        }
+        MetadataLookup {
+            hit: out.hit,
+            install_read: !out.hit,
+            eviction_write,
+        }
+    }
+
+    /// The lookup latency in CPU cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency_cycles
+    }
+
+    /// Cache-level statistics (hit rate for Figs. 5 and 16).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Extra memory traffic generated by metadata management (Fig. 15).
+    pub fn traffic(&self) -> MetadataTraffic {
+        self.traffic
+    }
+
+    /// Resets statistics and traffic counters after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+        self.traffic = MetadataTraffic::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_128_blocks() {
+        let mut mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
+        assert!(!mc.lookup(0).hit);
+        for i in 1..BLOCKS_PER_METADATA_LINE {
+            assert!(mc.lookup(i).hit, "block {i} shares the metadata line");
+        }
+        assert!(!mc.lookup(BLOCKS_PER_METADATA_LINE).hit);
+    }
+
+    #[test]
+    fn one_mb_cache_has_16k_lines() {
+        let mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
+        assert_eq!(mc.cache.capacity_lines(), 16 * 1024);
+    }
+
+    #[test]
+    fn updates_mark_dirty_and_cause_eviction_writes() {
+        // Tiny cache: 1 set x 2 ways.
+        let cfg = MetadataCacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            policy: PolicyKind::Lru,
+            latency_cycles: 8,
+        };
+        let mut mc = MetadataCache::new(cfg);
+        mc.update(0); // meta line 0 dirty
+        mc.lookup(BLOCKS_PER_METADATA_LINE); // meta line 1
+        let out = mc.lookup(2 * BLOCKS_PER_METADATA_LINE); // evicts line 0
+        assert!(out.eviction_write);
+        assert_eq!(mc.traffic().eviction_writes, 1);
+    }
+
+    #[test]
+    fn clean_evictions_do_not_write() {
+        let cfg = MetadataCacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            policy: PolicyKind::Lru,
+            latency_cycles: 8,
+        };
+        let mut mc = MetadataCache::new(cfg);
+        for i in 0..8 {
+            let out = mc.lookup(i * BLOCKS_PER_METADATA_LINE);
+            assert!(!out.eviction_write);
+        }
+        assert_eq!(mc.traffic().eviction_writes, 0);
+        assert_eq!(mc.traffic().install_reads, 8);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
+        // A sequential sweep: 1 miss per 128 accesses => ~99.2% hit rate.
+        for i in 0..128 * 100 {
+            mc.lookup(i);
+        }
+        assert!(mc.stats().hit_rate() > 0.99);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cache replacement policies.
+//!
+//! All policies implement [`ReplacementPolicy`], which the generic
+//! [`SetAssocCache`](crate::SetAssocCache) drives on fills, hits and
+//! victim selection. The set compared in Fig. 16 of the Attaché paper is
+//! LRU (baseline), DRRIP and SHiP; SRRIP and Random are included because
+//! DRRIP set-duels between SRRIP and BRRIP and Random is a useful control.
+
+mod lru;
+mod random;
+mod rrip;
+mod ship;
+
+pub use lru::Lru;
+pub use random::Random;
+pub use rrip::{Drrip, Srrip};
+pub use ship::Ship;
+
+/// Selects a replacement policy when constructing a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Least-recently-used (the paper's Metadata-Cache baseline).
+    #[default]
+    Lru,
+    /// Uniform-random victim selection.
+    Random,
+    /// Static re-reference interval prediction (Jaleel et al., ISCA 2010).
+    Srrip,
+    /// Dynamic RRIP with set-dueling between SRRIP and BRRIP.
+    Drrip,
+    /// Signature-based hit prediction (Wu et al., MICRO 2011).
+    Ship,
+}
+
+impl PolicyKind {
+    /// All policy kinds, for sweeps.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+    ];
+
+    /// Instantiates the policy for a cache of `sets` x `ways`.
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Random => Box::new(Random::new(sets, ways)),
+            PolicyKind::Srrip => Box::new(Srrip::new(sets, ways)),
+            PolicyKind::Drrip => Box::new(Drrip::new(sets, ways)),
+            PolicyKind::Ship => Box::new(Ship::new(sets, ways)),
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Random => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::Ship => "SHiP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cache replacement policy driven by the set-associative cache model.
+///
+/// The cache calls [`on_fill`](ReplacementPolicy::on_fill) when a line is
+/// installed, [`on_hit`](ReplacementPolicy::on_hit) on every hit,
+/// [`victim`](ReplacementPolicy::victim) when a full set needs a victim, and
+/// [`on_evict`](ReplacementPolicy::on_evict) when a line leaves the cache.
+pub trait ReplacementPolicy: core::fmt::Debug + Send {
+    /// A line was installed into `(set, way)`. `signature` identifies the
+    /// requester region (used by SHiP; others may ignore it).
+    fn on_fill(&mut self, set: usize, way: usize, signature: u64);
+
+    /// The line at `(set, way)` was hit.
+    fn on_hit(&mut self, set: usize, way: usize);
+
+    /// Chooses a victim way within `set`; all ways are valid/occupied.
+    fn victim(&mut self, set: usize) -> usize;
+
+    /// The line at `(set, way)` was evicted. `was_reused` reports whether it
+    /// ever hit after the fill (consumed by SHiP's SHCT training).
+    fn on_evict(&mut self, set: usize, way: usize, was_reused: bool);
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the set-associative cache model: structural
+//! invariants must hold under arbitrary access sequences and every
+//! replacement policy.
+
+use attache_cache::{CacheConfig, PolicyKind, SetAssocCache};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(PolicyKind::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn stats_always_balance(
+        policy in policy_strategy(),
+        accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..400),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 8, ways: 2, policy });
+        for (addr, write) in &accesses {
+            c.access(*addr, *write, addr >> 3);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, accesses.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.dirty_evictions <= s.evictions);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(c.occupancy() <= c.capacity_lines());
+    }
+
+    #[test]
+    fn resident_line_hits_immediately(
+        policy in policy_strategy(),
+        addr in 0u64..10_000,
+        noise in prop::collection::vec(0u64..10_000, 0..16),
+    ) {
+        // A large cache: the noise cannot evict `addr` (distinct sets or
+        // enough ways).
+        let mut c = SetAssocCache::new(CacheConfig { sets: 4096, ways: 8, policy });
+        c.access(addr, false, 0);
+        for n in &noise {
+            if n % 4096 != addr % 4096 {
+                c.access(*n, false, 0);
+            }
+        }
+        prop_assert!(c.probe(addr));
+        prop_assert!(c.access(addr, false, 0).hit);
+    }
+
+    #[test]
+    fn eviction_address_reconstruction_is_exact(
+        policy in policy_strategy(),
+        tags in prop::collection::vec(0u64..64, 2..40),
+    ) {
+        // Single set, single way: every miss evicts the previous line.
+        let mut c = SetAssocCache::new(CacheConfig { sets: 1, ways: 1, policy });
+        let mut resident: Option<u64> = None;
+        for t in tags {
+            let out = c.access(t, false, 0);
+            if let Some(prev) = resident {
+                if prev != t {
+                    prop_assert_eq!(out.evicted.map(|e| e.line_addr), Some(prev));
+                }
+            }
+            resident = Some(t);
+        }
+    }
+
+    #[test]
+    fn dirty_bit_follows_writes(
+        policy in policy_strategy(),
+        write_first in any::<bool>(),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 1, ways: 1, policy });
+        c.access(1, write_first, 0);
+        let out = c.access(2, false, 0);
+        prop_assert_eq!(out.evicted.map(|e| e.dirty), Some(write_first));
+    }
+
+    #[test]
+    fn invalidate_then_probe_is_false(
+        policy in policy_strategy(),
+        addrs in prop::collection::vec(0u64..256, 1..64),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 16, ways: 4, policy });
+        for a in &addrs {
+            c.access(*a, false, 0);
+        }
+        for a in &addrs {
+            c.invalidate(*a);
+            prop_assert!(!c.probe(*a));
+        }
+        prop_assert_eq!(c.occupancy(), 0);
+    }
+}

@@ -1,0 +1,412 @@
+//! Base-Delta-Immediate (BDI) compression.
+//!
+//! BDI (Pekhimenko et al., PACT 2012) exploits the low *dynamic range* of
+//! values within a cacheline: it stores one base value plus a narrow delta
+//! per element. Following the original proposal, every element may
+//! alternatively take its delta from an implicit second base of zero, which
+//! captures mixed pointer/small-integer lines. The hardware implementation
+//! is a row of parallel subtractors, which is why the Attaché paper models
+//! BDI as a single-cycle engine.
+//!
+//! Encodings implemented (element base size Δ delta size, in bytes):
+//! zeros, repeated 8-byte value, 8Δ1, 8Δ2, 8Δ4, 4Δ1, 4Δ2, 2Δ1 — the full
+//! set from the PACT 2012 paper.
+
+use crate::{Algorithm, Block, Compressed, Compressor, BLOCK_SIZE};
+
+/// The eight BDI encodings, ordered by the tag stored in the payload's first
+/// byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// The block is entirely zero bytes.
+    Zeros,
+    /// The block is one 8-byte value repeated eight times.
+    Repeated,
+    /// 8-byte elements, 1-byte deltas.
+    B8D1,
+    /// 8-byte elements, 2-byte deltas.
+    B8D2,
+    /// 8-byte elements, 4-byte deltas.
+    B8D4,
+    /// 4-byte elements, 1-byte deltas.
+    B4D1,
+    /// 4-byte elements, 2-byte deltas.
+    B4D2,
+    /// 2-byte elements, 1-byte deltas.
+    B2D1,
+}
+
+impl Encoding {
+    /// All base-delta encodings (excluding the `Zeros`/`Repeated` specials),
+    /// in the order they are attempted (smallest resulting size first).
+    pub const BASE_DELTA: [Encoding; 6] = [
+        Encoding::B8D1,
+        Encoding::B4D1,
+        Encoding::B8D2,
+        Encoding::B2D1,
+        Encoding::B4D2,
+        Encoding::B8D4,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            Encoding::Zeros => 0,
+            Encoding::Repeated => 1,
+            Encoding::B8D1 => 2,
+            Encoding::B8D2 => 3,
+            Encoding::B8D4 => 4,
+            Encoding::B4D1 => 5,
+            Encoding::B4D2 => 6,
+            Encoding::B2D1 => 7,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Encoding> {
+        Some(match tag {
+            0 => Encoding::Zeros,
+            1 => Encoding::Repeated,
+            2 => Encoding::B8D1,
+            3 => Encoding::B8D2,
+            4 => Encoding::B8D4,
+            5 => Encoding::B4D1,
+            6 => Encoding::B4D2,
+            7 => Encoding::B2D1,
+            _ => return None,
+        })
+    }
+
+    /// `(base_size, delta_size)` in bytes for base-delta encodings.
+    fn geometry(self) -> Option<(usize, usize)> {
+        match self {
+            Encoding::Zeros | Encoding::Repeated => None,
+            Encoding::B8D1 => Some((8, 1)),
+            Encoding::B8D2 => Some((8, 2)),
+            Encoding::B8D4 => Some((8, 4)),
+            Encoding::B4D1 => Some((4, 1)),
+            Encoding::B4D2 => Some((4, 2)),
+            Encoding::B2D1 => Some((2, 1)),
+        }
+    }
+
+    /// The compressed size in bytes this encoding yields for a 64-byte block
+    /// (tag byte + zero-base bitmask + base + deltas).
+    pub fn compressed_size(self) -> usize {
+        match self.geometry() {
+            None => match self {
+                Encoding::Zeros => 1,
+                _ => 1 + 8,
+            },
+            Some((base, delta)) => {
+                let n = BLOCK_SIZE / base;
+                1 + n.div_ceil(8) + base + n * delta
+            }
+        }
+    }
+}
+
+/// The Base-Delta-Immediate compressor.
+///
+/// # Example
+///
+/// ```
+/// use attache_compress::bdi::Bdi;
+/// use attache_compress::Compressor;
+///
+/// // A line of closely-spaced 64-bit values compresses well under BDI.
+/// let mut block = [0u8; 64];
+/// for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+///     chunk.copy_from_slice(&(0x1000_0000u64 + i as u64 * 8).to_le_bytes());
+/// }
+/// let image = Bdi::new().compress(&block).expect("compressible");
+/// assert!(image.size() < 64);
+/// assert_eq!(Bdi::new().decompress(&image), block);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdi;
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    pub fn new() -> Self {
+        Bdi
+    }
+
+    /// Returns the best (smallest) encoding applicable to `block`, if any.
+    pub fn best_encoding(block: &Block) -> Option<Encoding> {
+        if block.iter().all(|&b| b == 0) {
+            return Some(Encoding::Zeros);
+        }
+        if is_repeated(block) {
+            return Some(Encoding::Repeated);
+        }
+        let mut best: Option<Encoding> = None;
+        for enc in Encoding::BASE_DELTA {
+            if try_base_delta(block, enc).is_some() {
+                let better = match best {
+                    Some(b) => enc.compressed_size() < b.compressed_size(),
+                    None => true,
+                };
+                if better {
+                    best = Some(enc);
+                }
+            }
+        }
+        best.filter(|e| e.compressed_size() < BLOCK_SIZE)
+    }
+}
+
+fn is_repeated(block: &Block) -> bool {
+    let first = &block[..8];
+    block.chunks_exact(8).all(|c| c == first)
+}
+
+fn read_elem(block: &[u8], idx: usize, size: usize) -> i64 {
+    let mut buf = [0u8; 8];
+    buf[..size].copy_from_slice(&block[idx * size..idx * size + size]);
+    let raw = u64::from_le_bytes(buf);
+    // Sign-extend from `size` bytes.
+    let shift = 64 - size as u32 * 8;
+    ((raw << shift) as i64) >> shift
+}
+
+fn delta_fits(delta: i64, delta_size: usize) -> bool {
+    let bits = delta_size as u32 * 8;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&delta)
+}
+
+struct BaseDeltaImage {
+    base: i64,
+    mask: Vec<u8>,
+    deltas: Vec<i64>,
+}
+
+fn try_base_delta(block: &Block, enc: Encoding) -> Option<BaseDeltaImage> {
+    let (base_size, delta_size) = enc.geometry()?;
+    let n = BLOCK_SIZE / base_size;
+    let mut base: Option<i64> = None;
+    let mut mask = vec![0u8; n.div_ceil(8)];
+    let mut deltas = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = read_elem(block, i, base_size);
+        if delta_fits(v, delta_size) {
+            // Delta from the implicit zero base.
+            deltas.push(v);
+        } else {
+            let b = *base.get_or_insert(v);
+            let delta = v.wrapping_sub(b);
+            if !delta_fits(delta, delta_size) {
+                return None;
+            }
+            mask[i / 8] |= 1 << (i % 8);
+            deltas.push(delta);
+        }
+    }
+    Some(BaseDeltaImage {
+        base: base.unwrap_or(0),
+        mask,
+        deltas,
+    })
+}
+
+impl Compressor for Bdi {
+    fn name(&self) -> &'static str {
+        "BDI"
+    }
+
+    fn compress(&self, block: &Block) -> Option<Compressed> {
+        let enc = Bdi::best_encoding(block)?;
+        let mut payload = Vec::with_capacity(enc.compressed_size());
+        payload.push(enc.tag());
+        match enc {
+            Encoding::Zeros => {}
+            Encoding::Repeated => payload.extend_from_slice(&block[..8]),
+            _ => {
+                let (base_size, delta_size) = enc.geometry().expect("base-delta geometry");
+                let image = try_base_delta(block, enc).expect("encoding was validated");
+                payload.extend_from_slice(&image.mask);
+                payload.extend_from_slice(&image.base.to_le_bytes()[..base_size]);
+                for d in image.deltas {
+                    payload.extend_from_slice(&d.to_le_bytes()[..delta_size]);
+                }
+            }
+        }
+        debug_assert_eq!(payload.len(), enc.compressed_size());
+        Some(Compressed::from_parts(Algorithm::Bdi, payload))
+    }
+
+    fn decompress(&self, image: &Compressed) -> Block {
+        assert_eq!(image.algorithm(), Algorithm::Bdi, "not a BDI image");
+        let payload = image.payload();
+        let enc = Encoding::from_tag(payload[0]).expect("valid BDI tag");
+        let mut block = [0u8; BLOCK_SIZE];
+        match enc {
+            Encoding::Zeros => {}
+            Encoding::Repeated => {
+                for chunk in block.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&payload[1..9]);
+                }
+            }
+            _ => {
+                let (base_size, delta_size) = enc.geometry().expect("base-delta geometry");
+                let n = BLOCK_SIZE / base_size;
+                let mask_len = n.div_ceil(8);
+                let mask = &payload[1..1 + mask_len];
+                let mut buf = [0u8; 8];
+                buf[..base_size].copy_from_slice(&payload[1 + mask_len..1 + mask_len + base_size]);
+                let shift = 64 - base_size as u32 * 8;
+                let base = ((u64::from_le_bytes(buf) << shift) as i64) >> shift;
+                let deltas = &payload[1 + mask_len + base_size..];
+                for i in 0..n {
+                    let mut dbuf = [0u8; 8];
+                    dbuf[..delta_size]
+                        .copy_from_slice(&deltas[i * delta_size..(i + 1) * delta_size]);
+                    let dshift = 64 - delta_size as u32 * 8;
+                    let delta = ((u64::from_le_bytes(dbuf) << dshift) as i64) >> dshift;
+                    let uses_base = mask[i / 8] & (1 << (i % 8)) != 0;
+                    let value = if uses_base {
+                        base.wrapping_add(delta)
+                    } else {
+                        delta
+                    };
+                    block[i * base_size..(i + 1) * base_size]
+                        .copy_from_slice(&value.to_le_bytes()[..base_size]);
+                }
+            }
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(block: &Block) -> Option<usize> {
+        let bdi = Bdi::new();
+        let image = bdi.compress(block)?;
+        assert_eq!(&bdi.decompress(&image), block, "BDI roundtrip mismatch");
+        Some(image.size())
+    }
+
+    #[test]
+    fn zeros_compress_to_one_byte() {
+        assert_eq!(roundtrip(&[0u8; 64]), Some(1));
+    }
+
+    #[test]
+    fn repeated_value_compresses_to_nine_bytes() {
+        let mut block = [0u8; 64];
+        for chunk in block.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes());
+        }
+        assert_eq!(roundtrip(&block), Some(9));
+    }
+
+    #[test]
+    fn nearby_u64_values_use_b8d1() {
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(0x7000_0000_0000u64 + i as u64 * 3).to_le_bytes());
+        }
+        assert_eq!(Bdi::best_encoding(&block), Some(Encoding::B8D1));
+        assert_eq!(roundtrip(&block), Some(Encoding::B8D1.compressed_size()));
+    }
+
+    #[test]
+    fn small_u32_values_use_zero_base() {
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&(i as u32 % 100).to_le_bytes());
+        }
+        assert!(roundtrip(&block).is_some());
+    }
+
+    #[test]
+    fn mixed_pointers_and_small_ints_compress() {
+        // Alternating heap pointers and tiny integers: the classic case that
+        // needs both the arbitrary base and the implicit zero base.
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+            let v = if i % 2 == 0 {
+                0x7FFF_AB00_1200u64 + i as u64 * 16
+            } else {
+                i as u64
+            };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        assert!(roundtrip(&block).is_some());
+    }
+
+    #[test]
+    fn random_bytes_do_not_compress() {
+        // A fixed high-entropy pattern.
+        let mut block = [0u8; 64];
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        for b in block.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 33) as u8;
+        }
+        assert_eq!(Bdi::best_encoding(&block), None);
+        assert!(Bdi::new().compress(&block).is_none());
+    }
+
+    #[test]
+    fn negative_deltas_roundtrip() {
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+            let v = 0x5000_0000_0000i64 - i as i64 * 7;
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        assert!(roundtrip(&block).is_some());
+    }
+
+    #[test]
+    fn encoding_sizes_match_pact_formula() {
+        assert_eq!(Encoding::B8D1.compressed_size(), 1 + 1 + 8 + 8);
+        assert_eq!(Encoding::B8D2.compressed_size(), 1 + 1 + 8 + 16);
+        assert_eq!(Encoding::B8D4.compressed_size(), 1 + 1 + 8 + 32);
+        assert_eq!(Encoding::B4D1.compressed_size(), 1 + 2 + 4 + 16);
+        assert_eq!(Encoding::B4D2.compressed_size(), 1 + 2 + 4 + 32);
+        assert_eq!(Encoding::B2D1.compressed_size(), 1 + 4 + 2 + 32);
+    }
+
+    #[test]
+    fn compressed_never_reaches_block_size() {
+        // B2D1 and B4D2/B8D4 are 39/39/42 bytes: still < 64, all valid.
+        for enc in Encoding::BASE_DELTA {
+            assert!(enc.compressed_size() < BLOCK_SIZE);
+        }
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for tag in 0..8 {
+            let enc = Encoding::from_tag(tag).unwrap();
+            assert_eq!(enc.tag(), tag);
+        }
+        assert_eq!(Encoding::from_tag(8), None);
+    }
+
+    #[test]
+    fn boundary_delta_values_roundtrip() {
+        // Deltas of exactly i8::MIN / i8::MAX from the base.
+        let base = 0x4000_0000_0000u64;
+        let mut block = [0u8; 64];
+        let vals = [
+            base,
+            base.wrapping_add(127),
+            base.wrapping_sub(128),
+            base,
+            base.wrapping_add(1),
+            base.wrapping_sub(1),
+            base.wrapping_add(64),
+            base.wrapping_sub(64),
+        ];
+        for (chunk, v) in block.chunks_exact_mut(8).zip(vals) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(Bdi::best_encoding(&block), Some(Encoding::B8D1));
+        assert!(roundtrip(&block).is_some());
+    }
+}

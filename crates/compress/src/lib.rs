@@ -1,0 +1,139 @@
+//! Cacheline compression algorithms for the Attaché memory-compression stack.
+//!
+//! This crate implements, from scratch, the two single-cycle compression
+//! algorithms the Attaché paper (MICRO 2018) relies on:
+//!
+//! * [Base-Delta-Immediate (BDI)](bdi) — Pekhimenko et al., PACT 2012.
+//! * [Frequent Pattern Compression (FPC)](fpc) — Alameldeen & Wood,
+//!   UW-Madison TR-1500.
+//!
+//! plus a [`CompressionEngine`] that, like the paper's
+//! compression-decompression engine, runs both algorithms on every 64-byte
+//! block and keeps the best result.
+//!
+//! # Example
+//!
+//! ```
+//! use attache_compress::{CompressionEngine, Block, BLOCK_SIZE};
+//!
+//! let engine = CompressionEngine::new();
+//! let block: Block = [0u8; BLOCK_SIZE]; // an all-zero cacheline
+//! let outcome = engine.compress(&block);
+//! assert!(outcome.compressed_size() <= 8);
+//! let restored = engine.decompress(&outcome);
+//! assert_eq!(restored, block);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bdi;
+pub mod engine;
+pub mod fpc;
+
+pub use engine::{CompressionEngine, CompressionOutcome};
+
+/// The size of a main-memory block (one cacheline) in bytes.
+pub const BLOCK_SIZE: usize = 64;
+
+/// A 64-byte main-memory block (one cacheline).
+pub type Block = [u8; BLOCK_SIZE];
+
+/// The compression target the Attaché paper uses: a block must fit in 30
+/// bytes so that, together with the 2-byte metadata header (15-bit CID +
+/// 1-bit XID), it occupies exactly half a cacheline (one sub-rank beat).
+pub const SUBRANK_TARGET_BYTES: usize = 30;
+
+/// Identifies which algorithm produced a compressed image.
+///
+/// The Attaché paper (§IV-A.5, Table I) shortens the CID by one bit to make
+/// room for exactly this selector when both algorithms are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algorithm {
+    /// Base-Delta-Immediate.
+    Bdi,
+    /// Frequent Pattern Compression.
+    Fpc,
+}
+
+impl core::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Algorithm::Bdi => f.write_str("BDI"),
+            Algorithm::Fpc => f.write_str("FPC"),
+        }
+    }
+}
+
+/// A compressed image of a 64-byte block together with the algorithm that
+/// produced it.
+///
+/// The payload length **is** the compressed size in bytes; the hardware
+/// analogue is the shifted/packed data lane contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compressed {
+    algorithm: Algorithm,
+    payload: Vec<u8>,
+}
+
+impl Compressed {
+    /// Creates a compressed image from raw parts.
+    pub fn from_parts(algorithm: Algorithm, payload: Vec<u8>) -> Self {
+        Self { algorithm, payload }
+    }
+
+    /// The algorithm that produced this image.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The compressed size in bytes.
+    pub fn size(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// The encoded payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// A lossless 64-byte-block compressor.
+///
+/// Implementations must guarantee `decompress(compress(b)) == b` for every
+/// block for which `compress` returns `Some`.
+pub trait Compressor {
+    /// A short human-readable name ("BDI", "FPC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Attempts to compress `block`.
+    ///
+    /// Returns `None` when the algorithm cannot represent the block in fewer
+    /// than [`BLOCK_SIZE`] bytes.
+    fn compress(&self, block: &Block) -> Option<Compressed>;
+
+    /// Reverses [`Compressor::compress`].
+    ///
+    /// # Panics
+    ///
+    /// May panic if `image` was not produced by this compressor.
+    fn decompress(&self, image: &Compressed) -> Block;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_display_names() {
+        assert_eq!(Algorithm::Bdi.to_string(), "BDI");
+        assert_eq!(Algorithm::Fpc.to_string(), "FPC");
+    }
+
+    #[test]
+    fn compressed_reports_parts() {
+        let c = Compressed::from_parts(Algorithm::Bdi, vec![1, 2, 3]);
+        assert_eq!(c.algorithm(), Algorithm::Bdi);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.payload(), &[1, 2, 3]);
+    }
+}

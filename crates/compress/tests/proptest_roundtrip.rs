@@ -1,0 +1,112 @@
+//! Property-based tests for the compression substrate: every algorithm must
+//! be lossless on arbitrary inputs, and sizes must be internally consistent.
+
+use attache_compress::bdi::Bdi;
+use attache_compress::fpc::Fpc;
+use attache_compress::{Block, CompressionEngine, Compressor, BLOCK_SIZE};
+use proptest::prelude::*;
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    prop::array::uniform32(any::<u8>()).prop_flat_map(|lo| {
+        prop::array::uniform32(any::<u8>()).prop_map(move |hi| {
+            let mut b = [0u8; BLOCK_SIZE];
+            b[..32].copy_from_slice(&lo);
+            b[32..].copy_from_slice(&hi);
+            b
+        })
+    })
+}
+
+/// Structured blocks: more likely to be compressible, exercising all
+/// encodings rather than just the uncompressed path.
+fn structured_block_strategy() -> impl Strategy<Value = Block> {
+    (
+        any::<u64>(),
+        prop::collection::vec(-300i64..300, 8),
+        0usize..4,
+    )
+        .prop_map(|(base, deltas, kind)| {
+            let mut b = [0u8; BLOCK_SIZE];
+            match kind {
+                0 => {
+                    // u64 base + small deltas
+                    for (chunk, d) in b.chunks_exact_mut(8).zip(&deltas) {
+                        chunk.copy_from_slice(&(base.wrapping_add(*d as u64)).to_le_bytes());
+                    }
+                }
+                1 => {
+                    // small u32 values
+                    for (i, chunk) in b.chunks_exact_mut(4).enumerate() {
+                        let v = (deltas[i % 8] & 0xFF) as u32;
+                        chunk.copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+                2 => {
+                    // repeated 8B value
+                    for chunk in b.chunks_exact_mut(8) {
+                        chunk.copy_from_slice(&base.to_le_bytes());
+                    }
+                }
+                _ => {
+                    // sparse: mostly zero with a few words set
+                    for (i, d) in deltas.iter().enumerate() {
+                        let w = (*d as u32).to_le_bytes();
+                        b[i * 8..i * 8 + 4].copy_from_slice(&w);
+                    }
+                }
+            }
+            b
+        })
+}
+
+proptest! {
+    #[test]
+    fn bdi_roundtrips_random_blocks(block in block_strategy()) {
+        let bdi = Bdi::new();
+        if let Some(image) = bdi.compress(&block) {
+            prop_assert!(image.size() < BLOCK_SIZE);
+            prop_assert_eq!(bdi.decompress(&image), block);
+        }
+    }
+
+    #[test]
+    fn fpc_roundtrips_random_blocks(block in block_strategy()) {
+        let fpc = Fpc::new();
+        if let Some(image) = fpc.compress(&block) {
+            prop_assert!(image.size() < BLOCK_SIZE);
+            prop_assert_eq!(fpc.decompress(&image), block);
+        }
+    }
+
+    #[test]
+    fn engine_roundtrips_any_block(block in block_strategy()) {
+        let engine = CompressionEngine::new();
+        let outcome = engine.compress(&block);
+        prop_assert_eq!(engine.decompress(&outcome), block);
+    }
+
+    #[test]
+    fn engine_roundtrips_structured_blocks(block in structured_block_strategy()) {
+        let engine = CompressionEngine::new();
+        let outcome = engine.compress(&block);
+        prop_assert_eq!(engine.decompress(&outcome), block);
+        prop_assert!(outcome.compressed_size() <= BLOCK_SIZE);
+    }
+
+    #[test]
+    fn structured_blocks_usually_fit_subrank(block in structured_block_strategy()) {
+        // Not a strict guarantee, but the engine must never report a
+        // compressed size larger than the block.
+        let engine = CompressionEngine::new();
+        prop_assert!(engine.compressed_size(&block) <= BLOCK_SIZE);
+    }
+
+    #[test]
+    fn fpc_bit_accounting_is_exact(block in structured_block_strategy()) {
+        let bits = Fpc::compressed_bits(&block) as usize;
+        match Fpc::new().compress(&block) {
+            Some(image) => prop_assert_eq!(image.size(), bits.div_ceil(8)),
+            None => prop_assert!(bits.div_ceil(8) >= BLOCK_SIZE),
+        }
+    }
+}

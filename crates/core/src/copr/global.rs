@@ -1,0 +1,120 @@
+//! The Global Indicator (GI): eight two-bit saturating counters, one per
+//! eighth of the physical memory space (§IV-C.3).
+//!
+//! A counter increments when an access in its region is compressible and
+//! resets to zero otherwise, making the GI a fast-reacting indicator of
+//! regional compressibility. Besides serving as the last-level predictor,
+//! the GI seeds newly allocated PaPR entries.
+
+/// Number of GI regions/counters.
+pub const GI_REGIONS: usize = 8;
+/// Saturation ceiling for the two-bit counters.
+const GI_MAX: u8 = 3;
+/// Prediction threshold: counter ≥ 2 predicts compressible.
+const GI_THRESHOLD: u8 = 2;
+
+/// The Global Indicator.
+#[derive(Debug, Clone)]
+pub struct GlobalIndicator {
+    counters: [u8; GI_REGIONS],
+    total_lines: u64,
+}
+
+impl GlobalIndicator {
+    /// Creates a GI covering `total_lines` blocks of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_lines` is zero.
+    pub fn new(total_lines: u64) -> Self {
+        assert!(total_lines > 0, "memory must contain at least one line");
+        Self {
+            counters: [0; GI_REGIONS],
+            total_lines,
+        }
+    }
+
+    /// The region index covering `line_addr`.
+    pub fn region_of(&self, line_addr: u64) -> usize {
+        ((line_addr as u128 * GI_REGIONS as u128 / self.total_lines as u128) as usize)
+            .min(GI_REGIONS - 1)
+    }
+
+    /// Predicts compressibility for `line_addr`'s region.
+    pub fn predict(&self, line_addr: u64) -> bool {
+        self.counters[self.region_of(line_addr)] >= GI_THRESHOLD
+    }
+
+    /// The hint used to seed new PaPR entries: confident-compressible.
+    pub fn seed_hint(&self, line_addr: u64) -> bool {
+        self.counters[self.region_of(line_addr)] >= GI_THRESHOLD
+    }
+
+    /// Trains the region counter with the observed compressibility.
+    pub fn train(&mut self, line_addr: u64, compressible: bool) {
+        let c = &mut self.counters[self.region_of(line_addr)];
+        if compressible {
+            *c = (*c + 1).min(GI_MAX);
+        } else {
+            *c = 0; // reinitialized to zero, per the paper
+        }
+    }
+
+    /// Raw counter values (diagnostics).
+    pub fn counters(&self) -> [u8; GI_REGIONS] {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_space() {
+        let gi = GlobalIndicator::new(800);
+        assert_eq!(gi.region_of(0), 0);
+        assert_eq!(gi.region_of(99), 0);
+        assert_eq!(gi.region_of(100), 1);
+        assert_eq!(gi.region_of(799), 7);
+    }
+
+    #[test]
+    fn two_compressible_accesses_flip_prediction() {
+        let mut gi = GlobalIndicator::new(800);
+        assert!(!gi.predict(0));
+        gi.train(0, true);
+        assert!(!gi.predict(0));
+        gi.train(1, true);
+        assert!(gi.predict(0));
+    }
+
+    #[test]
+    fn incompressible_access_resets_counter() {
+        let mut gi = GlobalIndicator::new(800);
+        for _ in 0..3 {
+            gi.train(0, true);
+        }
+        assert!(gi.predict(0));
+        gi.train(0, false);
+        assert!(!gi.predict(0), "reset to zero, not decremented");
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut gi = GlobalIndicator::new(800);
+        gi.train(0, true);
+        gi.train(0, true);
+        assert!(gi.predict(0));
+        assert!(!gi.predict(700), "other region untouched");
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut gi = GlobalIndicator::new(80);
+        for _ in 0..10 {
+            gi.train(0, true);
+        }
+        assert_eq!(gi.counters()[0], 3);
+    }
+}

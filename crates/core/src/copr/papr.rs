@@ -1,0 +1,191 @@
+//! The Page-Level Predictor (PaPR): a set-associative table of two-bit
+//! saturating counters indexed by OS-page number (§IV-C.3).
+//!
+//! Exploits the observation that cachelines within a page tend to share
+//! compressibility. Entries are allocated on first touch with an initial
+//! value seeded by the Global Indicator; the paper provisions 192KB.
+
+const PAPR_MAX: u8 = 3;
+const PAPR_THRESHOLD: u8 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u64,
+    valid: bool,
+    counter: u8,
+    last_use: u64,
+}
+
+/// The page-level predictor.
+#[derive(Debug, Clone)]
+pub struct Papr {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Entry>,
+    stamp: u64,
+}
+
+impl Papr {
+    /// Creates a PaPR with `sets` x `ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "PaPR geometry must be non-zero");
+        Self {
+            sets,
+            ways,
+            entries: vec![Entry::default(); sets * ways],
+            stamp: 0,
+        }
+    }
+
+    /// The paper's 192KB configuration: 64K entries (8192 sets x 8 ways) at
+    /// ~3 bytes of tag+counter state each.
+    pub fn paper_default() -> Self {
+        Self::new(8192, 8)
+    }
+
+    /// Estimated SRAM budget in bytes (tag ≈ 22 bits + 2-bit counter per
+    /// entry, rounded to 3 bytes as in the paper's 192KB figure).
+    pub fn sram_bytes(&self) -> usize {
+        self.sets * self.ways * 3
+    }
+
+    fn set_of(&self, page: u64) -> usize {
+        (page % self.sets as u64) as usize
+    }
+
+    fn find(&self, page: u64) -> Option<usize> {
+        let set = self.set_of(page);
+        let tag = page / self.sets as u64;
+        (0..self.ways)
+            .map(|w| set * self.ways + w)
+            .find(|&i| self.entries[i].valid && self.entries[i].tag == tag)
+    }
+
+    /// Predicts compressibility for `page`; `None` when the page has no
+    /// entry (the caller falls back to the GI).
+    pub fn predict(&self, page: u64) -> Option<bool> {
+        self.find(page)
+            .map(|i| self.entries[i].counter >= PAPR_THRESHOLD)
+    }
+
+    /// The raw counter for `page` — LiPR uses this as its page-uniformity
+    /// confidence signal.
+    pub fn confidence(&self, page: u64) -> Option<u8> {
+        self.find(page).map(|i| self.entries[i].counter)
+    }
+
+    /// Whether `page`'s counter says the page is uniformly compressible or
+    /// uniformly incompressible enough for LiPR's neighbour update.
+    pub fn neighbours_similar(&self, page: u64) -> bool {
+        self.confidence(page)
+            .map(|c| c >= PAPR_THRESHOLD)
+            .unwrap_or(false)
+    }
+
+    /// Trains the entry for `page` with the observed compressibility,
+    /// allocating (seeded by `gi_hint`) when absent.
+    pub fn train(&mut self, page: u64, compressible: bool, gi_hint: bool) {
+        self.stamp += 1;
+        let idx = match self.find(page) {
+            Some(i) => i,
+            None => {
+                let set = self.set_of(page);
+                let tag = page / self.sets as u64;
+                let base = set * self.ways;
+                let victim = (0..self.ways)
+                    .map(|w| base + w)
+                    .find(|&i| !self.entries[i].valid)
+                    .unwrap_or_else(|| {
+                        (base..base + self.ways)
+                            .min_by_key(|&i| self.entries[i].last_use)
+                            .expect("ways > 0")
+                    });
+                self.entries[victim] = Entry {
+                    tag,
+                    valid: true,
+                    counter: if gi_hint { PAPR_MAX } else { 0 },
+                    last_use: self.stamp,
+                };
+                victim
+            }
+        };
+        let e = &mut self.entries[idx];
+        e.last_use = self.stamp;
+        if compressible {
+            e.counter = (e.counter + 1).min(PAPR_MAX);
+        } else {
+            e.counter = e.counter.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_page_has_no_prediction() {
+        let p = Papr::new(16, 2);
+        assert_eq!(p.predict(5), None);
+    }
+
+    #[test]
+    fn gi_seed_makes_new_entries_confident() {
+        let mut p = Papr::new(16, 2);
+        p.train(5, true, true);
+        // Seeded to 3, then incremented (saturates at 3).
+        assert_eq!(p.predict(5), Some(true));
+        assert_eq!(p.confidence(5), Some(3));
+    }
+
+    #[test]
+    fn unseeded_entries_start_pessimistic() {
+        let mut p = Papr::new(16, 2);
+        p.train(5, true, false);
+        assert_eq!(p.predict(5), Some(false), "counter 0 -> 1 < threshold");
+        p.train(5, true, false);
+        assert_eq!(p.predict(5), Some(true), "counter reaches 2");
+    }
+
+    #[test]
+    fn incompressible_observations_decrement() {
+        let mut p = Papr::new(16, 2);
+        p.train(7, true, true); // counter 3
+        p.train(7, false, true); // 2
+        assert_eq!(p.predict(7), Some(true));
+        p.train(7, false, true); // 1
+        assert_eq!(p.predict(7), Some(false));
+    }
+
+    #[test]
+    fn lru_eviction_on_full_set() {
+        let mut p = Papr::new(1, 2);
+        p.train(0, true, true);
+        p.train(1, true, true);
+        p.train(0, true, true); // page 1 is LRU
+        p.train(2, true, true); // evicts page 1
+        assert_eq!(p.predict(1), None);
+        assert!(p.predict(0).is_some());
+        assert!(p.predict(2).is_some());
+    }
+
+    #[test]
+    fn paper_default_budget_is_192kb() {
+        assert_eq!(Papr::paper_default().sram_bytes(), 192 * 1024);
+    }
+
+    #[test]
+    fn neighbours_similar_tracks_threshold() {
+        let mut p = Papr::new(16, 2);
+        assert!(!p.neighbours_similar(3));
+        p.train(3, true, true);
+        assert!(p.neighbours_similar(3));
+        p.train(3, false, false);
+        p.train(3, false, false);
+        assert!(!p.neighbours_similar(3));
+    }
+}

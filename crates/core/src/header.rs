@@ -1,0 +1,311 @@
+//! The BLEM Metadata-Header: Compression ID (CID) + Exclusive ID (XID).
+//!
+//! The header occupies the top two bytes of a stored block:
+//!
+//! ```text
+//! bit 15 ................ bit (16 - cid_bits) | info bits | bit 0
+//!        CID (cid_bits wide)                  | algorithm | XID
+//! ```
+//!
+//! * A **compressed** line is written as `CID | info | XID=0` followed by
+//!   the (scrambled) compressed payload.
+//! * An **uncompressed** line is stored verbatim (scrambled); if its top
+//!   `cid_bits` happen to equal the CID — a *CID collision*, probability
+//!   `2^-cid_bits` — the XID bit position is forced to 1 and the displaced
+//!   data bit goes to the Replacement Area (§IV-A.6).
+//!
+//! Table I of the paper trades CID width for extra information bits; with
+//! both BDI and FPC active the paper uses one info bit to select the
+//! algorithm, i.e. a 14-bit CID.
+
+use attache_compress::Algorithm;
+
+/// Header layout parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CidConfig {
+    /// CID width in bits (13..=15 in Table I).
+    pub cid_bits: u8,
+}
+
+impl CidConfig {
+    /// The configuration used by the evaluated system: 14-bit CID + 1
+    /// algorithm bit + 1 XID bit (§IV-A.5).
+    pub fn dual_algorithm() -> Self {
+        Self { cid_bits: 14 }
+    }
+
+    /// The single-algorithm configuration with the paper's headline 15-bit
+    /// CID (no info bits).
+    pub fn single_algorithm() -> Self {
+        Self { cid_bits: 15 }
+    }
+
+    /// Creates a configuration, validating Table I's supported range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `5 <= cid_bits <= 15`.
+    pub fn new(cid_bits: u8) -> Self {
+        assert!(
+            (5..=15).contains(&cid_bits),
+            "cid_bits must be in 5..=15, got {cid_bits}"
+        );
+        Self { cid_bits }
+    }
+
+    /// Information bits available between the CID and the XID.
+    pub fn info_bits(&self) -> u8 {
+        15 - self.cid_bits
+    }
+
+    /// The probability that an independent random 16-bit field matches the
+    /// CID (a collision): `2^-cid_bits` (Fig. 8, Table I).
+    pub fn collision_probability(&self) -> f64 {
+        1.0 / (1u64 << self.cid_bits) as f64
+    }
+
+    /// Expected number of uncompressed-line accesses between collisions
+    /// (`32K` for the 15-bit CID, per Fig. 8).
+    pub fn expected_accesses_per_collision(&self) -> u64 {
+        1u64 << self.cid_bits
+    }
+
+    /// Probability of observing **at least one** collision within
+    /// `accesses` accesses to uncompressed lines (the Fig. 8 curve).
+    pub fn collision_within(&self, accesses: u64) -> f64 {
+        let p = self.collision_probability();
+        1.0 - (1.0 - p).powf(accesses as f64)
+    }
+}
+
+impl Default for CidConfig {
+    fn default() -> Self {
+        Self::dual_algorithm()
+    }
+}
+
+/// The boot-time random CID value held in a single memory-controller
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CidValue {
+    value: u16,
+    config: CidConfig,
+}
+
+impl CidValue {
+    /// Draws a CID value from `seed` (the "chosen randomly at boot-time"
+    /// step, made deterministic for reproducibility).
+    pub fn from_seed(seed: u64, config: CidConfig) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let value = ((z >> 17) as u16) & Self::mask(config);
+        Self { value, config }
+    }
+
+    /// Creates a CID with an explicit value (tests, cross-validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `config.cid_bits`.
+    pub fn from_value(value: u16, config: CidConfig) -> Self {
+        assert!(
+            value <= Self::mask(config),
+            "CID value {value:#x} wider than {} bits",
+            config.cid_bits
+        );
+        Self { value, config }
+    }
+
+    fn mask(config: CidConfig) -> u16 {
+        ((1u32 << config.cid_bits) - 1) as u16
+    }
+
+    /// The raw CID register value.
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// The layout configuration.
+    pub fn config(&self) -> CidConfig {
+        self.config
+    }
+
+    /// Builds the 16-bit header for a compressed line.
+    pub fn encode_header(&self, algorithm: Algorithm) -> u16 {
+        let cfg = self.config;
+        let info: u16 = match algorithm {
+            Algorithm::Bdi => 0,
+            Algorithm::Fpc => 1,
+        };
+        let info = if cfg.info_bits() == 0 { 0 } else { info };
+        // [CID | info | XID=0]
+        (self.value << (16 - cfg.cid_bits)) | (info << 1)
+    }
+
+    /// Parses the top two bytes of a stored line.
+    pub fn parse_header(&self, header: u16) -> HeaderMatch {
+        let cfg = self.config;
+        let cid_field = header >> (16 - cfg.cid_bits);
+        let cid_matches = cid_field == self.value;
+        let xid = header & 1 != 0;
+        let info = if cfg.info_bits() == 0 {
+            0
+        } else {
+            (header >> 1) & (((1u32 << cfg.info_bits()) - 1) as u16)
+        };
+        HeaderMatch {
+            cid_matches,
+            xid,
+            info: info as u8,
+        }
+    }
+
+    /// The bit position (within the 16-bit header, LSB=0) of the XID.
+    pub fn xid_bit() -> u32 {
+        0
+    }
+
+    /// Decodes the algorithm from the header's info field.
+    pub fn algorithm_from_info(&self, info: u8) -> Algorithm {
+        if self.config.info_bits() == 0 || info == 0 {
+            Algorithm::Bdi
+        } else {
+            Algorithm::Fpc
+        }
+    }
+}
+
+/// The result of checking a stored line's top 16 bits against the CID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderMatch {
+    /// The CID field equals the boot-time CID register.
+    pub cid_matches: bool,
+    /// The XID bit (only meaningful when `cid_matches`).
+    pub xid: bool,
+    /// The info field (algorithm selector; only meaningful for compressed
+    /// lines).
+    pub info: u8,
+}
+
+impl HeaderMatch {
+    /// Interprets the match per Fig. 9(d)-(f): compressed iff CID matches
+    /// and XID is 0.
+    pub fn is_compressed(&self) -> bool {
+        self.cid_matches && !self.xid
+    }
+
+    /// A CID collision: CID matched on an uncompressed line (XID was forced
+    /// to 1 at write time).
+    pub fn is_collision(&self) -> bool {
+        self.cid_matches && self.xid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_collision_probabilities() {
+        // Table I: 15 -> 0.003%, 14 -> 0.006%, 13 -> 0.01%.
+        assert!((CidConfig::new(15).collision_probability() - 0.0000305).abs() < 1e-6);
+        assert!((CidConfig::new(14).collision_probability() - 0.0000610).abs() < 1e-6);
+        assert!((CidConfig::new(13).collision_probability() - 0.000122).abs() < 1e-5);
+        assert_eq!(CidConfig::new(15).info_bits(), 0);
+        assert_eq!(CidConfig::new(14).info_bits(), 1);
+        assert_eq!(CidConfig::new(13).info_bits(), 2);
+    }
+
+    #[test]
+    fn fifteen_bit_cid_collides_every_32k() {
+        assert_eq!(
+            CidConfig::single_algorithm().expected_accesses_per_collision(),
+            32 * 1024
+        );
+    }
+
+    #[test]
+    fn collision_within_grows_with_accesses() {
+        let cfg = CidConfig::single_algorithm();
+        assert!(cfg.collision_within(0) == 0.0);
+        let p_32k = cfg.collision_within(32 * 1024);
+        assert!((0.6..0.7).contains(&p_32k), "≈ 1 - 1/e, got {p_32k}");
+        assert!(cfg.collision_within(1 << 20) > 0.999);
+    }
+
+    #[test]
+    fn header_roundtrip_dual_algorithm() {
+        let cid = CidValue::from_seed(42, CidConfig::dual_algorithm());
+        for alg in [Algorithm::Bdi, Algorithm::Fpc] {
+            let h = cid.encode_header(alg);
+            let m = cid.parse_header(h);
+            assert!(m.cid_matches);
+            assert!(!m.xid);
+            assert!(m.is_compressed());
+            assert_eq!(cid.algorithm_from_info(m.info), alg);
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_single_algorithm() {
+        let cid = CidValue::from_seed(7, CidConfig::single_algorithm());
+        let h = cid.encode_header(Algorithm::Bdi);
+        let m = cid.parse_header(h);
+        assert!(m.is_compressed());
+    }
+
+    #[test]
+    fn non_matching_header_is_uncompressed() {
+        let cid = CidValue::from_value(0x1234, CidConfig::dual_algorithm());
+        let other = 0x4321u16 << 2;
+        let m = cid.parse_header(other);
+        assert!(!m.cid_matches);
+        assert!(!m.is_compressed());
+        assert!(!m.is_collision());
+    }
+
+    #[test]
+    fn collision_header_detected() {
+        let cid = CidValue::from_value(0x0ABC, CidConfig::dual_algorithm());
+        // Top 14 bits match, XID forced to 1.
+        let h = (0x0ABCu16 << 2) | 1;
+        let m = cid.parse_header(h);
+        assert!(m.cid_matches);
+        assert!(m.xid);
+        assert!(m.is_collision());
+        assert!(!m.is_compressed());
+    }
+
+    #[test]
+    fn random_headers_collide_at_expected_rate() {
+        let cfg = CidConfig::single_algorithm();
+        let cid = CidValue::from_seed(99, cfg);
+        let mut collisions = 0u64;
+        let trials = 4 * 32 * 1024u64;
+        let mut state = 0x1357_9BDF_2468_ACE0u64;
+        for _ in 0..trials {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let header = (state >> 31) as u16;
+            if cid.parse_header(header).cid_matches {
+                collisions += 1;
+            }
+        }
+        // Expected 4 collisions; allow generous slack.
+        assert!(collisions <= 16, "got {collisions}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cid_bits must be in 5..=15")]
+    fn oversized_cid_rejected() {
+        let _ = CidConfig::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn overwide_value_rejected() {
+        let _ = CidValue::from_value(0x8000, CidConfig::single_algorithm());
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-bank (and per-sub-rank) DRAM state machines.
+//!
+//! With independent chip-selects, the two sub-ranks of a rank can hold
+//! *different* rows open in the same bank index, so the model keeps one
+//! state machine per `(bank, sub-rank)` — a "sub-bank". A full-width access
+//! simply requires both sub-banks to satisfy the constraint.
+
+use crate::config::Timing;
+
+/// Row-buffer state of one sub-bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowState {
+    /// All rows precharged.
+    #[default]
+    Idle,
+    /// `row` is open in the row buffer.
+    Active {
+        /// The open row.
+        row: usize,
+    },
+}
+
+/// One bank of one sub-rank with its JEDEC timing bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubBank {
+    state: RowState,
+    next_act: u64,
+    next_pre: u64,
+    next_rd: u64,
+    next_wr: u64,
+    /// Statistics: activates serviced by this sub-bank.
+    pub activates: u64,
+}
+
+impl SubBank {
+    /// Creates an idle sub-bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> RowState {
+        self.state
+    }
+
+    /// Whether `row` is open.
+    pub fn row_open(&self, row: usize) -> bool {
+        self.state == RowState::Active { row }
+    }
+
+    /// Whether an ACT may issue at `now`.
+    pub fn can_activate(&self, now: u64) -> bool {
+        self.state == RowState::Idle && now >= self.next_act
+    }
+
+    /// The earliest cycle an ACT may issue (assuming the bank is idle).
+    pub fn activate_ready_at(&self) -> u64 {
+        self.next_act
+    }
+
+    /// Issues an ACT for `row` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the constraint check would fail.
+    pub fn activate(&mut self, now: u64, row: usize, t: &Timing) {
+        debug_assert!(self.can_activate(now), "illegal ACT");
+        self.state = RowState::Active { row };
+        self.next_rd = now + t.t_rcd;
+        self.next_wr = now + t.t_rcd;
+        self.next_pre = now + t.t_ras;
+        self.next_act = now + t.t_rc;
+        self.activates += 1;
+    }
+
+    /// Whether a PRE may issue at `now`.
+    pub fn can_precharge(&self, now: u64) -> bool {
+        matches!(self.state, RowState::Active { .. }) && now >= self.next_pre
+    }
+
+    /// The earliest cycle a PRE may issue (assuming a row is open).
+    pub fn precharge_ready_at(&self) -> u64 {
+        self.next_pre
+    }
+
+    /// Issues a PRE at `now`.
+    pub fn precharge(&mut self, now: u64, t: &Timing) {
+        debug_assert!(self.can_precharge(now), "illegal PRE");
+        self.state = RowState::Idle;
+        self.next_act = self.next_act.max(now + t.t_rp);
+    }
+
+    /// Whether a column read to `row` may issue at `now` (bank-level
+    /// constraints only; the data-bus constraints live in the rank).
+    pub fn can_read(&self, now: u64, row: usize) -> bool {
+        self.row_open(row) && now >= self.next_rd
+    }
+
+    /// Whether a column write to `row` may issue at `now`.
+    pub fn can_write(&self, now: u64, row: usize) -> bool {
+        self.row_open(row) && now >= self.next_wr
+    }
+
+    /// Issues a column READ at `now`.
+    pub fn read(&mut self, now: u64, t: &Timing) {
+        self.next_pre = self.next_pre.max(now + t.t_rtp);
+    }
+
+    /// Issues a column WRITE at `now`.
+    pub fn write(&mut self, now: u64, t: &Timing) {
+        self.next_pre = self.next_pre.max(now + t.t_cwl + t.t_burst + t.t_wr);
+    }
+
+    /// Forces the bank idle (used when skipping idle periods across
+    /// refreshes); timing gates are aligned to `now`.
+    pub fn force_idle(&mut self, now: u64) {
+        self.state = RowState::Idle;
+        self.next_act = self.next_act.max(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timing {
+        Timing::table2()
+    }
+
+    #[test]
+    fn activate_opens_row_and_blocks_reads_until_trcd() {
+        let mut b = SubBank::new();
+        b.activate(0, 7, &t());
+        assert!(b.row_open(7));
+        assert!(!b.can_read(t().t_rcd - 1, 7));
+        assert!(b.can_read(t().t_rcd, 7));
+        assert!(!b.can_read(t().t_rcd, 8), "different row");
+    }
+
+    #[test]
+    fn precharge_respects_tras_then_trp() {
+        let mut b = SubBank::new();
+        b.activate(0, 1, &t());
+        assert!(!b.can_precharge(t().t_ras - 1));
+        assert!(b.can_precharge(t().t_ras));
+        b.precharge(t().t_ras, &t());
+        assert_eq!(b.state(), RowState::Idle);
+        // Next ACT must wait for max(tRC, tRAS + tRP).
+        let ready = (t().t_ras + t().t_rp).max(t().t_rc);
+        assert!(!b.can_activate(ready - 1));
+        assert!(b.can_activate(ready));
+    }
+
+    #[test]
+    fn read_pushes_out_precharge_via_trtp() {
+        let mut b = SubBank::new();
+        b.activate(0, 1, &t());
+        let rd_at = t().t_ras - 2; // read late in the tRAS window
+        b.read(rd_at, &t());
+        assert!(!b.can_precharge(t().t_ras), "tRTP extends beyond tRAS here");
+        assert!(b.can_precharge(rd_at + t().t_rtp));
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut b = SubBank::new();
+        b.activate(0, 1, &t());
+        let wr_at = t().t_rcd;
+        b.write(wr_at, &t());
+        let pre_ready = wr_at + t().t_cwl + t().t_burst + t().t_wr;
+        assert!(!b.can_precharge(pre_ready - 1));
+        assert!(b.can_precharge(pre_ready.max(t().t_ras)));
+    }
+
+    #[test]
+    fn activates_are_counted() {
+        let mut b = SubBank::new();
+        b.activate(0, 1, &t());
+        b.precharge(t().t_ras, &t());
+        let next = (t().t_ras + t().t_rp).max(t().t_rc);
+        b.activate(next, 2, &t());
+        assert_eq!(b.activates, 2);
+    }
+}

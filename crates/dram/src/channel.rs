@@ -1,0 +1,645 @@
+//! One memory channel: request queues, FR-FCFS scheduling, refresh, and the
+//! command/data bus model.
+//!
+//! Scheduling follows the paper's CramSim configuration (§V): reads are
+//! prioritized over writes, and a write buffer drains to memory once a high
+//! watermark is reached (with hysteresis down to a low watermark). Row hits
+//! are preferred over older row misses (FR-FCFS) with an age cap to prevent
+//! starvation.
+
+use crate::config::{AddressMapping, DramConfig, Location};
+use crate::power::{PowerModel, PowerParams};
+use crate::rank::Rank;
+use crate::request::{AccessKind, Completion, MemRequest};
+
+/// Aggregated per-channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelStats {
+    /// Bus cycles simulated.
+    pub cycles: u64,
+    /// Demand reads completed.
+    pub demand_reads: u64,
+    /// Corrective (COPR-misprediction) reads completed.
+    pub corrective_reads: u64,
+    /// Metadata-Cache install reads completed.
+    pub metadata_reads: u64,
+    /// Replacement-Area reads completed.
+    pub replacement_area_reads: u64,
+    /// LLC writebacks completed.
+    pub data_writes: u64,
+    /// Metadata-Cache eviction writes completed.
+    pub metadata_writes: u64,
+    /// Replacement-Area writes completed.
+    pub replacement_area_writes: u64,
+    /// CAS commands that hit an already-open row.
+    pub row_hits: u64,
+    /// CAS commands that required ACT (and possibly PRE) first.
+    pub row_misses: u64,
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+    /// Data bytes moved over the bus.
+    pub bytes: u64,
+    /// Sub-rank-bus busy cycles (sum over sub-ranks).
+    pub busy_bus_cycles: u64,
+    /// Total latency of completed reads (arrival to data end), bus cycles.
+    pub read_latency_sum: u64,
+    /// Number of completed reads counted in the latency sum.
+    pub read_latency_count: u64,
+    /// Reads served by forwarding from the write queue.
+    pub forwarded_reads: u64,
+    /// Bus cycles spent in write-drain mode.
+    pub drain_cycles: u64,
+    /// Write-drain episodes entered.
+    pub drain_episodes: u64,
+}
+
+impl ChannelStats {
+    /// Total read requests serviced from DRAM (not forwarded).
+    pub fn total_reads(&self) -> u64 {
+        self.demand_reads + self.corrective_reads + self.metadata_reads + self.replacement_area_reads
+    }
+
+    /// Total write requests serviced.
+    pub fn total_writes(&self) -> u64 {
+        self.data_writes + self.metadata_writes + self.replacement_area_writes
+    }
+
+    /// Total memory requests serviced.
+    pub fn total_requests(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Average read latency in bus cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.read_latency_count == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.read_latency_count as f64
+        }
+    }
+
+    /// Mean data bandwidth in bytes per bus cycle.
+    pub fn bandwidth_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.cycles as f64
+        }
+    }
+
+    /// Row-buffer hit rate over CAS commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating channels).
+    pub fn add(&mut self, o: &ChannelStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.demand_reads += o.demand_reads;
+        self.corrective_reads += o.corrective_reads;
+        self.metadata_reads += o.metadata_reads;
+        self.replacement_area_reads += o.replacement_area_reads;
+        self.data_writes += o.data_writes;
+        self.metadata_writes += o.metadata_writes;
+        self.replacement_area_writes += o.replacement_area_writes;
+        self.row_hits += o.row_hits;
+        self.row_misses += o.row_misses;
+        self.activates += o.activates;
+        self.precharges += o.precharges;
+        self.refreshes += o.refreshes;
+        self.bytes += o.bytes;
+        self.busy_bus_cycles += o.busy_bus_cycles;
+        self.read_latency_sum += o.read_latency_sum;
+        self.read_latency_count += o.read_latency_count;
+        self.forwarded_reads += o.forwarded_reads;
+        self.drain_cycles += o.drain_cycles;
+        self.drain_episodes += o.drain_episodes;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: MemRequest,
+    loc: Location,
+    needed_act: bool,
+}
+
+/// Rejection returned when a queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl core::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("memory controller queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+
+/// Command tracing (set `ATTACHE_TRACE=1`): logs CAS/ACT/PRE on channel 0
+/// to stderr. The flag is read once and cached.
+fn trace_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("ATTACHE_TRACE").is_ok())
+}
+
+/// Age (bus cycles) past which the oldest read preempts row-hit-first order.
+const STARVATION_AGE: u64 = 1_536;
+
+/// One DDR4 channel with its memory controller front-end.
+#[derive(Debug)]
+pub struct Channel {
+    index: usize,
+    cfg: DramConfig,
+    mapping: AddressMapping,
+    ranks: Vec<Rank>,
+    read_q: Vec<Pending>,
+    write_q: Vec<Pending>,
+    in_flight: Vec<(u64, MemRequest, bool)>, // (finish, req, counted_row_hit)
+    completed: Vec<Completion>,
+    now: u64,
+    sticky_drain: bool,
+    stats: ChannelStats,
+    stats_base: u64,
+    power: PowerModel,
+}
+
+impl Channel {
+    /// Creates channel `index` of a memory system described by `cfg`.
+    pub fn new(index: usize, cfg: DramConfig, power: PowerParams) -> Self {
+        Self {
+            index,
+            cfg,
+            mapping: AddressMapping::new(cfg),
+            ranks: (0..cfg.ranks).map(|_| Rank::new(&cfg)).collect(),
+            read_q: Vec::with_capacity(cfg.read_queue_capacity),
+            write_q: Vec::with_capacity(cfg.write_queue_capacity),
+            in_flight: Vec::new(),
+            completed: Vec::new(),
+            now: 0,
+            sticky_drain: false,
+            stats: ChannelStats::default(),
+            stats_base: 0,
+            power: PowerModel::new(power),
+        }
+    }
+
+    /// The current bus cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether a read can be accepted this cycle.
+    pub fn can_accept_read(&self) -> bool {
+        self.read_q.len() < self.cfg.read_queue_capacity
+    }
+
+    /// Whether a write can be accepted this cycle.
+    pub fn can_accept_write(&self) -> bool {
+        self.write_q.len() < self.cfg.write_queue_capacity
+    }
+
+    /// Queue occupancy `(reads, writes)`.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.read_q.len(), self.write_q.len())
+    }
+
+    /// Enqueues a request.
+    ///
+    /// Reads that hit a queued write are forwarded and complete immediately.
+    /// Writes to a line already in the write queue coalesce in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the corresponding queue has no free slot.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFull> {
+        let loc = self.mapping.decompose(req.line_addr);
+        debug_assert_eq!(loc.channel, self.index, "request routed to wrong channel");
+        match req.kind {
+            AccessKind::Read => {
+                if self.write_q.iter().any(|p| p.req.line_addr == req.line_addr) {
+                    // Forward from the write buffer: data available on chip.
+                    self.stats.forwarded_reads += 1;
+                    self.completed.push(Completion {
+                        request: req,
+                        finished_at: self.now + 1,
+                    });
+                    return Ok(());
+                }
+                if !self.can_accept_read() {
+                    return Err(QueueFull);
+                }
+                self.read_q.push(Pending {
+                    req,
+                    loc,
+                    needed_act: false,
+                });
+            }
+            AccessKind::Write => {
+                if let Some(p) = self
+                    .write_q
+                    .iter_mut()
+                    .find(|p| p.req.line_addr == req.line_addr)
+                {
+                    p.req = req; // coalesce: latest write wins
+                    return Ok(());
+                }
+                if !self.can_accept_write() {
+                    return Err(QueueFull);
+                }
+                self.write_q.push(Pending {
+                    req,
+                    loc,
+                    needed_act: false,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains completions accumulated since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Whether no work is pending or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> ChannelStats {
+        let mut s = self.stats;
+        s.cycles = self.now - self.stats_base;
+        s
+    }
+
+    /// Accumulated DRAM energy.
+    pub fn energy(&self) -> crate::power::EnergyBreakdown {
+        self.power.energy()
+    }
+
+    /// Resets statistics and energy after warm-up (state machines keep
+    /// their contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = ChannelStats::default();
+        // Keep `cycles` relative to the reset point.
+        self.stats_base = self.now;
+        self.power.reset();
+    }
+
+    /// Advances one bus cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        let now = self.now;
+
+        // Retire finished bursts.
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                let (finish, req, row_hit) = self.in_flight.swap_remove(i);
+                self.record_completion(req, finish, row_hit);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Background power (one rank per channel in Table II, loop anyway).
+        for r in 0..self.ranks.len() {
+            let active = self.ranks[r].open_sub_banks > 0;
+            self.power.on_background(1, active);
+        }
+
+        // Refresh management consumes the command bus when it acts.
+        if self.manage_refresh(now) {
+            return;
+        }
+
+        self.issue(now);
+    }
+
+    /// Fast-forwards an idle channel to `target`, accounting refreshes and
+    /// background energy in bulk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is not idle.
+    pub fn advance_idle_to(&mut self, target: u64) {
+        assert!(self.is_idle(), "advance_idle_to requires an idle channel");
+        if target <= self.now {
+            return;
+        }
+        let span = target - self.now;
+        let t = self.cfg.timing;
+        for rank in &mut self.ranks {
+            let due = rank.next_refresh_due;
+            if target >= due {
+                let n = (target - due) / t.t_refi + 1;
+                rank.bulk_refresh(n, &t);
+                for _ in 0..n {
+                    self.power.on_refresh();
+                }
+                self.stats.refreshes += n;
+            }
+            self.power.on_background(span, false);
+        }
+        self.now = target;
+    }
+
+    fn record_completion(&mut self, req: MemRequest, finish: u64, row_hit: bool) {
+        use crate::request::Origin;
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        match (req.kind, req.origin) {
+            (AccessKind::Read, Origin::Demand { .. }) => self.stats.demand_reads += 1,
+            (AccessKind::Read, Origin::Corrective { .. }) => self.stats.corrective_reads += 1,
+            (AccessKind::Read, Origin::MetadataInstall) => self.stats.metadata_reads += 1,
+            (AccessKind::Read, Origin::ReplacementArea) => self.stats.replacement_area_reads += 1,
+            (AccessKind::Read, _) => self.stats.demand_reads += 1,
+            (AccessKind::Write, Origin::MetadataWriteback) => self.stats.metadata_writes += 1,
+            (AccessKind::Write, Origin::ReplacementArea) => self.stats.replacement_area_writes += 1,
+            (AccessKind::Write, _) => self.stats.data_writes += 1,
+        }
+        if req.kind == AccessKind::Read {
+            self.stats.read_latency_sum += finish - req.arrival;
+            self.stats.read_latency_count += 1;
+        }
+        self.completed.push(Completion {
+            request: req,
+            finished_at: finish,
+        });
+    }
+
+    /// Returns `true` when the command bus was used for refresh work.
+    fn manage_refresh(&mut self, now: u64) -> bool {
+        let t = self.cfg.timing;
+        for r in 0..self.ranks.len() {
+            if self.ranks[r].refresh_due(now) {
+                if self.ranks[r].any_bank_open() {
+                    if let Some((bank, mask)) = self.ranks[r].refresh_precharge_candidate(now) {
+                        self.ranks[r].precharge(now, bank, mask, &t);
+                        self.stats.precharges += 1;
+                        return true;
+                    }
+                    // Wait for precharge eligibility.
+                    return false;
+                }
+                self.ranks[r].refresh(now, &t);
+                self.power.on_refresh();
+                self.stats.refreshes += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn drain_writes(&mut self) -> bool {
+        let hi = self.cfg.write_high_watermark;
+        let lo = self.cfg.write_low_watermark;
+        if self.sticky_drain {
+            if self.write_q.len() <= lo {
+                self.sticky_drain = false;
+            }
+        } else if self.write_q.len() >= hi {
+            self.sticky_drain = true;
+        }
+        self.sticky_drain || (self.read_q.is_empty() && !self.write_q.is_empty())
+    }
+
+    fn issue(&mut self, now: u64) {
+        let was = self.sticky_drain;
+        let writes = self.drain_writes();
+        if writes {
+            self.stats.drain_cycles += 1;
+        }
+        if self.sticky_drain && !was {
+            self.stats.drain_episodes += 1;
+        }
+        if writes {
+            self.issue_from(now, true);
+        } else if !self.read_q.is_empty() {
+            self.issue_from(now, false);
+        }
+    }
+
+
+    /// Filters a precharge mask down to sub-banks whose open row has no
+    /// *older* queued requests left. Open rows with pending work are kept
+    /// open (they will be CAS-ready soon — closing them thrashes), but the
+    /// protection is age-relative: once the conflicting request is the
+    /// oldest contender for the row, it may close it. This is the classic
+    /// FR-FCFS fallback to age order, and it matters when half- and
+    /// full-width streams share a bank.
+    fn unprotected_mask(&self, rank: usize, bank: usize, mask: u8, writes: bool, age: u64) -> u8 {
+        let mut out = mask;
+        for s in 0..self.cfg.subranks {
+            if mask & (1 << s) == 0 {
+                continue;
+            }
+            if let crate::bank::RowState::Active { row } = self.ranks[rank].sub_bank(bank, s).state()
+            {
+                let wanted = |p: &&Pending| {
+                    p.loc.rank == rank
+                        && p.loc.flat_bank(&self.cfg) == bank
+                        && p.loc.row == row
+                        && p.req.width.mask() & (1 << s) != 0
+                        && p.req.arrival <= age
+                };
+                // Only the queue currently being served can protect a
+                // row: protecting across queues deadlocks (a draining
+                // write would wait forever on a read that cannot issue
+                // during the drain).
+                let pending = if writes {
+                    self.write_q.iter().find(wanted).is_some()
+                } else {
+                    self.read_q.iter().find(wanted).is_some()
+                };
+                if pending {
+                    out &= !(1 << s);
+                }
+            }
+        }
+        out
+    }
+
+    fn issue_from(&mut self, now: u64, writes: bool) {
+        let t = self.cfg.timing;
+
+        // Anti-starvation: when the oldest *read* is too old, serve it
+        // exclusively. Writes are posted — nobody waits on them — so they
+        // are always drained row-hit-first.
+        let starving: Option<usize> = if writes {
+            None
+        } else {
+            self.read_q
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.req.arrival)
+                .filter(|(_, p)| now.saturating_sub(p.req.arrival) > STARVATION_AGE)
+                .map(|(i, _)| i)
+        };
+
+        // Pass 1: CAS for any ready request (row hit first by construction —
+        // a ready CAS implies the row is open).
+        let cas_idx = {
+            let q = if writes { &self.write_q } else { &self.read_q };
+            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
+                Some(i) => Box::new(std::iter::once(i)),
+                None => Box::new(0..q.len()),
+            };
+            let mut found = None;
+            for i in candidates {
+                let p = &q[i];
+                let rank = &self.ranks[p.loc.rank];
+                if rank.refresh_due(now) {
+                    continue;
+                }
+                let bank = p.loc.flat_bank(&self.cfg);
+                let mask = p.req.width.mask();
+                let ok = if writes {
+                    rank.can_write(now, bank, p.loc.row, mask)
+                } else {
+                    rank.can_read(now, bank, p.loc.row, mask)
+                };
+                if ok {
+                    found = Some(i);
+                    break;
+                }
+            }
+            found
+        };
+
+        if let Some(i) = cas_idx {
+            let p = if writes {
+                self.write_q.remove(i)
+            } else {
+                self.read_q.remove(i)
+            };
+            if trace_enabled() && self.index == 0 {
+                eprintln!("{} {} bank={} row={} mask={:02b} id={}",
+                    now, if writes {"WR "} else {"RD "},
+                    p.loc.flat_bank(&self.cfg), p.loc.row, p.req.width.mask(), p.req.id);
+            }
+            let bank = p.loc.flat_bank(&self.cfg);
+            let mask = p.req.width.mask();
+            let chips = p.req.width.chips();
+            let bytes = p.req.width.bytes();
+            let rank = &mut self.ranks[p.loc.rank];
+            let finish = if writes {
+                rank.write(now, bank, mask, &t);
+                self.power.on_write(chips, bytes);
+                now + t.t_cwl + t.t_burst
+            } else {
+                rank.read(now, bank, mask, &t);
+                self.power.on_read(chips, bytes);
+                now + t.t_cas + t.t_burst
+            };
+            self.stats.bytes += bytes;
+            self.stats.busy_bus_cycles += t.t_burst * mask.count_ones() as u64;
+            self.in_flight.push((finish, p.req, !p.needed_act));
+            return;
+        }
+
+        // Pass 2: ACT for the oldest request that needs one.
+        let act_idx = {
+            let q = if writes { &self.write_q } else { &self.read_q };
+            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
+                Some(i) => Box::new(std::iter::once(i)),
+                None => Box::new(0..q.len()),
+            };
+            let mut found = None;
+            for i in candidates {
+                let p = &q[i];
+                let rank = &self.ranks[p.loc.rank];
+                let bank = p.loc.flat_bank(&self.cfg);
+                if rank.can_activate(now, bank, p.loc.row, p.req.width.mask(), &t) {
+                    found = Some(i);
+                    break;
+                }
+            }
+            found
+        };
+
+        if let Some(i) = act_idx {
+            let (loc, mask) = {
+                let q = if writes { &mut self.write_q } else { &mut self.read_q };
+                q[i].needed_act = true;
+                (q[i].loc, q[i].req.width.mask())
+            };
+            let bank = loc.flat_bank(&self.cfg);
+            // Chips engaged: 4 per sub-rank that actually activates.
+            if trace_enabled() && self.index == 0 {
+                eprintln!("{} ACT bank={} row={} mask={:02b}", now, bank, loc.row, mask);
+            }
+            let rank = &mut self.ranks[loc.rank];
+            let before = rank.open_sub_banks;
+            rank.activate(now, bank, loc.row, mask, &t);
+            let opened = (rank.open_sub_banks - before) as u32;
+            self.power.on_activate(opened * 4);
+            self.stats.activates += 1;
+            return;
+        }
+
+        // Pass 3: PRE for the oldest request blocked by a row conflict —
+        // but never close a row that still has queued requests (they will
+        // become CAS-ready soon; closing them causes open-row thrash when
+        // half- and full-width streams share a bank).
+        let pre = {
+            let q = if writes { &self.write_q } else { &self.read_q };
+            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
+                Some(i) => Box::new(std::iter::once(i)),
+                None => Box::new(0..q.len()),
+            };
+            let mut found = None;
+            for i in candidates {
+                let p = &q[i];
+                let rank = &self.ranks[p.loc.rank];
+                if rank.refreshing(now) || rank.refresh_due(now) {
+                    continue;
+                }
+                let bank = p.loc.flat_bank(&self.cfg);
+                if let Some(mask) = rank.precharge_mask(now, bank, p.loc.row, p.req.width.mask())
+                {
+                    // The starving-read override bypasses row protection:
+                    // an over-age read may close any row it conflicts with.
+                    let mask = if starving.is_some() {
+                        mask
+                    } else {
+                        self.unprotected_mask(p.loc.rank, bank, mask, writes, p.req.arrival)
+                    };
+                    if mask != 0 {
+                        found = Some((i, bank, p.loc.rank, mask));
+                        break;
+                    }
+                }
+            }
+            found
+        };
+
+        if let Some((i, bank, rank_idx, mask)) = pre {
+            if trace_enabled() && self.index == 0 {
+                let q = if writes { &self.write_q } else { &self.read_q };
+                eprintln!("{} PRE bank={} mask={:02b} for-row={} q={}", now, bank, mask, q[i].loc.row, q.len());
+            }
+            {
+                let q = if writes { &mut self.write_q } else { &mut self.read_q };
+                q[i].needed_act = true;
+            }
+            self.ranks[rank_idx].precharge(now, bank, mask, &t);
+            self.stats.precharges += 1;
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! A cycle-level, sub-ranked DDR4 main-memory model.
+//!
+//! This crate is the reproduction's substitute for SST/CramSim (§V of the
+//! Attaché paper): a strict-timing DDR4 channel model with bank groups,
+//! banks, refresh, FR-FCFS scheduling, read-over-write priority with a
+//! watermarked write buffer, and — the part Attaché exercises — **two
+//! sub-ranks per rank** with independent chip selects, so a compressed
+//! 32-byte access engages 4 chips and half the data bus while the other
+//! sub-rank serves a different request concurrently.
+//!
+//! # Example
+//!
+//! ```
+//! use attache_dram::{MemorySystem, DramConfig, PowerParams};
+//! use attache_dram::request::{AccessKind, AccessWidth, MemRequest, Origin};
+//!
+//! let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+//! mem.enqueue(MemRequest {
+//!     id: 1,
+//!     line_addr: 0,
+//!     kind: AccessKind::Read,
+//!     width: AccessWidth::Full,
+//!     origin: Origin::Demand { core: 0 },
+//!     arrival: 0,
+//! }).expect("queue has space");
+//! while mem.drain_completions().is_empty() {
+//!     mem.tick();
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod channel;
+pub mod config;
+pub mod power;
+pub mod rank;
+pub mod request;
+
+pub use channel::{Channel, ChannelStats, QueueFull};
+pub use config::{AddressMapping, DramConfig, Location, Timing};
+pub use power::{EnergyBreakdown, PowerModel, PowerParams};
+pub use request::{AccessKind, AccessWidth, Completion, MemRequest, Origin, SubrankId};
+
+/// A multi-channel main-memory system (Table II: two channels).
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<Channel>,
+}
+
+impl MemorySystem {
+    /// Creates an idle memory system.
+    pub fn new(cfg: DramConfig, power: PowerParams) -> Self {
+        Self {
+            cfg,
+            mapping: AddressMapping::new(cfg),
+            channels: (0..cfg.channels)
+                .map(|i| Channel::new(i, cfg, power))
+                .collect(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// The channel index servicing `line_addr`.
+    pub fn channel_of(&self, line_addr: u64) -> usize {
+        self.mapping.decompose(line_addr).channel
+    }
+
+    /// Whether the channel servicing `line_addr` can accept `kind` now.
+    pub fn can_accept(&self, line_addr: u64, kind: AccessKind) -> bool {
+        let ch = self.channel_of(line_addr);
+        match kind {
+            AccessKind::Read => self.channels[ch].can_accept_read(),
+            AccessKind::Write => self.channels[ch].can_accept_write(),
+        }
+    }
+
+    /// Routes and enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the target channel's queue is full.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFull> {
+        let ch = self.channel_of(req.line_addr);
+        self.channels[ch].enqueue(req)
+    }
+
+    /// Advances every channel one bus cycle.
+    pub fn tick(&mut self) {
+        for ch in &mut self.channels {
+            ch.tick();
+        }
+    }
+
+    /// The current bus cycle (all channels advance in lockstep).
+    pub fn now(&self) -> u64 {
+        self.channels[0].now()
+    }
+
+    /// Collects completions from all channels.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            out.append(&mut ch.drain_completions());
+        }
+        out
+    }
+
+    /// Whether every channel is idle.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(Channel::is_idle)
+    }
+
+    /// Fast-forwards all (idle) channels to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel still has pending or in-flight work.
+    pub fn advance_idle_to(&mut self, target: u64) {
+        for ch in &mut self.channels {
+            ch.advance_idle_to(target);
+        }
+    }
+
+    /// Aggregated statistics across channels.
+    pub fn stats(&self) -> ChannelStats {
+        let mut s = ChannelStats::default();
+        for ch in &self.channels {
+            s.add(&ch.stats());
+        }
+        s
+    }
+
+    /// Per-channel statistics.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(Channel::stats).collect()
+    }
+
+    /// Total DRAM energy across channels.
+    pub fn energy(&self) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        for ch in &self.channels {
+            e.add(&ch.energy());
+        }
+        e
+    }
+
+    /// Resets statistics and energy after warm-up.
+    pub fn reset_stats(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(id: u64, line_addr: u64, width: AccessWidth, arrival: u64) -> MemRequest {
+        MemRequest {
+            id,
+            line_addr,
+            kind: AccessKind::Read,
+            width,
+            origin: Origin::Demand { core: 0 },
+            arrival,
+        }
+    }
+
+    fn write(id: u64, line_addr: u64, width: AccessWidth, arrival: u64) -> MemRequest {
+        MemRequest {
+            id,
+            line_addr,
+            kind: AccessKind::Write,
+            width,
+            origin: Origin::Writeback,
+            arrival,
+        }
+    }
+
+    fn run_until_complete(mem: &mut MemorySystem, n: usize, max_cycles: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for _ in 0..max_cycles {
+            mem.tick();
+            done.append(&mut mem.drain_completions());
+            if done.len() >= n {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn cold_read_latency_is_act_plus_cas_plus_burst() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        mem.enqueue(read(1, 0, AccessWidth::Full, 0)).unwrap();
+        let done = run_until_complete(&mut mem, 1, 1_000);
+        assert_eq!(done.len(), 1);
+        let t = Timing::table2();
+        // ACT issues at cycle 1, RD at 1 + tRCD, data ends tCAS + tBURST later.
+        assert_eq!(done[0].finished_at, 1 + t.t_rcd + t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn row_hit_read_is_faster_than_cold_read() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        // Two reads to adjacent blocks in the same row, same channel.
+        mem.enqueue(read(1, 0, AccessWidth::Full, 0)).unwrap();
+        mem.enqueue(read(2, 2, AccessWidth::Full, 0)).unwrap();
+        let done = run_until_complete(&mut mem, 2, 1_000);
+        assert_eq!(done.len(), 2);
+        let lat1 = done[0].latency();
+        let lat2 = done[1].latency();
+        let t = Timing::table2();
+        // The second read reuses the open row: only tCCD behind the first.
+        assert_eq!(lat2 - lat1, t.t_ccd);
+        let stats = mem.stats();
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn half_width_reads_to_opposite_subranks_overlap() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        // Same channel, same bank, same row — but different sub-ranks.
+        mem.enqueue(read(1, 0, AccessWidth::Half(SubrankId(0)), 0))
+            .unwrap();
+        mem.enqueue(read(2, 0, AccessWidth::Half(SubrankId(1)), 0))
+            .unwrap();
+        let done = run_until_complete(&mut mem, 2, 1_000);
+        assert_eq!(done.len(), 2);
+        let t = Timing::table2();
+        // Sub-rank buses are independent; the second CAS is gated only by
+        // the one-command-per-cycle command bus and the second ACT (tRRD).
+        let gap = done[1].finished_at - done[0].finished_at;
+        assert!(
+            gap <= t.t_rrd,
+            "independent sub-ranks should overlap (gap {gap})"
+        );
+    }
+
+    #[test]
+    fn full_width_reads_serialize_on_the_data_bus() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        // Same row so both are row-hits after one ACT; full width each.
+        mem.enqueue(read(1, 0, AccessWidth::Full, 0)).unwrap();
+        mem.enqueue(read(2, 2, AccessWidth::Full, 0)).unwrap();
+        let done = run_until_complete(&mut mem, 2, 1_000);
+        let t = Timing::table2();
+        assert_eq!(done[1].finished_at - done[0].finished_at, t.t_ccd);
+    }
+
+    #[test]
+    fn writes_drain_opportunistically_when_no_reads() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        mem.enqueue(write(1, 0, AccessWidth::Full, 0)).unwrap();
+        let done = run_until_complete(&mut mem, 1, 1_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(mem.stats().data_writes, 1);
+    }
+
+    #[test]
+    fn read_forwarding_from_write_queue() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        // Park many writes so the drain does not immediately clear them.
+        for i in 0..8u64 {
+            mem.enqueue(write(i, i * 2, AccessWidth::Full, 0)).unwrap();
+        }
+        // A read to one of those lines is forwarded instantly.
+        mem.enqueue(read(100, 6, AccessWidth::Full, 0)).unwrap();
+        mem.tick();
+        let done = mem.drain_completions();
+        assert!(done.iter().any(|c| c.request.id == 100));
+        assert_eq!(mem.stats().forwarded_reads, 1);
+    }
+
+    #[test]
+    fn write_coalescing_merges_same_line() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        mem.enqueue(write(1, 4, AccessWidth::Full, 0)).unwrap();
+        mem.enqueue(write(2, 4, AccessWidth::Half(SubrankId(0)), 0))
+            .unwrap();
+        let done = run_until_complete(&mut mem, 1, 2_000);
+        // Only one write reaches DRAM.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request.id, 2, "latest write wins");
+        assert_eq!(mem.stats().data_writes, 1);
+    }
+
+    #[test]
+    fn reads_have_priority_over_writes() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        // Fill some writes below the high watermark, then a read.
+        for i in 0..8u64 {
+            mem.enqueue(write(i, i * 2 + 32, AccessWidth::Full, 0))
+                .unwrap();
+        }
+        mem.enqueue(read(100, 0, AccessWidth::Full, 0)).unwrap();
+        let done = run_until_complete(&mut mem, 1, 2_000);
+        assert_eq!(done[0].request.id, 100, "read completes first");
+    }
+
+    #[test]
+    fn refresh_happens_on_schedule() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let t = Timing::table2();
+        for _ in 0..(t.t_refi + t.t_rfc + 10) {
+            mem.tick();
+        }
+        assert!(mem.stats().refreshes >= mem.config().channels as u64);
+    }
+
+    #[test]
+    fn refresh_blocks_and_delays_reads() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let t = Timing::table2();
+        // Arrive just as refresh becomes due.
+        for _ in 0..t.t_refi {
+            mem.tick();
+        }
+        let now = mem.now();
+        mem.enqueue(read(1, 0, AccessWidth::Full, now)).unwrap();
+        let done = run_until_complete(&mut mem, 1, 5_000);
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].latency() >= t.t_rfc,
+            "read must wait out tRFC (latency {})",
+            done[0].latency()
+        );
+    }
+
+    #[test]
+    fn idle_fast_forward_accounts_refreshes() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let t = Timing::table2();
+        mem.advance_idle_to(10 * t.t_refi + 5);
+        assert_eq!(mem.now(), 10 * t.t_refi + 5);
+        // 10 refresh intervals crossed per rank per channel.
+        assert_eq!(mem.stats().refreshes, 20);
+        assert!(mem.energy().refresh_pj > 0.0);
+        assert!(mem.energy().background_pj > 0.0);
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let cap = mem.config().read_queue_capacity;
+        let mut rejected = false;
+        // Same channel: stride 2 keeps channel 0.
+        for i in 0..(cap as u64 + 8) {
+            let r = mem.enqueue(read(i, i * 2, AccessWidth::Full, 0));
+            if r.is_err() {
+                rejected = true;
+            }
+        }
+        assert!(rejected, "read queue must eventually reject");
+        assert!(!mem.can_accept(0, AccessKind::Read));
+    }
+
+    #[test]
+    fn open_row_with_pending_work_is_not_closed_under_it() {
+        // A half-width stream hammers row A on sub-rank 0; a conflicting
+        // full-width read of row B arrives. Age-relative protection lets
+        // the stream's already-queued requests finish, then the full read
+        // proceeds — well before the starvation deadline.
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let m = *mem.mapping();
+        let cfg = *mem.config();
+        let line_of = |row: usize, col: usize| {
+            m.compose(crate::config::Location {
+                channel: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row,
+                col,
+            })
+        };
+        let mut id = 0u64;
+        // Row A half-width stream (8 queued).
+        #[allow(clippy::explicit_counter_loop)]
+        for col in 0..8 {
+            mem.enqueue(read(id, line_of(10, col), AccessWidth::Half(SubrankId(0)), 0))
+                .unwrap();
+            id += 1;
+        }
+        // The conflicting full-width read of row B.
+        mem.enqueue(read(999, line_of(11, 0), AccessWidth::Full, 0))
+            .unwrap();
+        let mut done_b_at = None;
+        for _ in 0..4_000 {
+            mem.tick();
+            for c in mem.drain_completions() {
+                if c.request.id == 999 {
+                    done_b_at = Some(c.finished_at);
+                }
+            }
+            if done_b_at.is_some() {
+                break;
+            }
+        }
+        let finished = done_b_at.expect("full-width read must complete");
+        assert!(
+            finished < 1_000,
+            "row-B read should not wait for starvation age, finished at {finished}"
+        );
+        let _ = cfg;
+    }
+
+    #[test]
+    fn write_drain_hysteresis_respects_watermarks() {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let hi = mem.config().write_high_watermark;
+        // Fill channel 0's write queue beyond the high watermark, plus a
+        // continuous stream of reads that would otherwise always win.
+        let mut id = 0;
+        #[allow(clippy::explicit_counter_loop)]
+        for i in 0..hi as u64 + 4 {
+            mem.enqueue(write(id, i * 2 + 1_000_000, AccessWidth::Full, 0))
+                .unwrap();
+            id += 1;
+        }
+        for i in 0..8u64 {
+            mem.enqueue(read(10_000 + i, i * 2, AccessWidth::Full, 0))
+                .unwrap();
+        }
+        let mut writes_done = 0;
+        for _ in 0..20_000 {
+            mem.tick();
+            writes_done += mem
+                .drain_completions()
+                .iter()
+                .filter(|c| c.request.kind == AccessKind::Write)
+                .count();
+        }
+        assert!(
+            writes_done > hi / 2,
+            "sticky drain must push writes out ({writes_done} done)"
+        );
+        let stats = mem.stats();
+        assert!(stats.drain_episodes >= 1);
+        assert!(stats.drain_cycles > 0);
+    }
+
+    #[test]
+    fn bandwidth_doubles_with_half_width_requests() {
+        // Saturate one channel with half-width reads split over sub-ranks
+        // vs. full-width reads; the half-width run must move ~the same
+        // bytes in ~half the busy time (or 2x requests per unit time).
+        let t = Timing::table2();
+        let run = |half: bool| -> (u64, u64) {
+            let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+            let mut id = 0;
+            let mut issued = 0u64;
+            for cycle in 0..20_000u64 {
+                // Keep the queue topped up with row-hit traffic.
+                while mem.can_accept(0, AccessKind::Read) && issued < 4_000 {
+                    let width = if half {
+                        AccessWidth::Half(SubrankId((id % 2) as u8))
+                    } else {
+                        AccessWidth::Full
+                    };
+                    // Walk columns within a row, alternating banks.
+                    let col = (id / 2) % 64;
+                    let bank = id % 4;
+                    let line = col * 8 + bank * 2; // channel 0
+                    mem.enqueue(read(id, line, width, cycle)).unwrap();
+                    id += 1;
+                    issued += 1;
+                }
+                mem.tick();
+                if issued >= 4_000 && mem.is_idle() {
+                    break;
+                }
+            }
+            let s = mem.stats();
+            (s.total_reads(), s.cycles)
+        };
+        let (full_reads, full_cycles) = run(false);
+        let (half_reads, half_cycles) = run(true);
+        assert_eq!(full_reads, half_reads);
+        let speedup = full_cycles as f64 / half_cycles as f64;
+        assert!(
+            speedup > 1.6,
+            "sub-ranked half-width traffic should be ~2x faster, got {speedup:.2} ({full_cycles} vs {half_cycles} cycles, tCCD={})",
+            t.t_ccd
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Memory requests and completions exchanged with the memory controller.
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (data returns to the requester).
+    Read,
+    /// A write (posted; no data returns).
+    Write,
+}
+
+/// Which sub-rank(s) a request occupies.
+///
+/// A compressed 64-byte block fits a single 32-byte sub-rank beat; an
+/// uncompressed block needs both sub-ranks (the full 64-bit-wide rank, as in
+/// the non-sub-ranked baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// Half-width access served by one sub-rank (32 bytes).
+    Half(SubrankId),
+    /// Full-width access served by both sub-ranks in lockstep (64 bytes).
+    Full,
+}
+
+impl AccessWidth {
+    /// Bytes moved over the bus by this access.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            AccessWidth::Half(_) => 32,
+            AccessWidth::Full => 64,
+        }
+    }
+
+    /// The sub-ranks (as a 2-bit mask) this access occupies.
+    pub fn mask(&self) -> u8 {
+        match self {
+            AccessWidth::Half(SubrankId(s)) => 1 << s,
+            AccessWidth::Full => 0b11,
+        }
+    }
+
+    /// DRAM chips engaged (of 8 per rank).
+    pub fn chips(&self) -> u32 {
+        match self {
+            AccessWidth::Half(_) => 4,
+            AccessWidth::Full => 8,
+        }
+    }
+}
+
+/// Identifies one of the two sub-ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubrankId(pub u8);
+
+impl SubrankId {
+    /// The opposite sub-rank.
+    pub fn other(self) -> SubrankId {
+        SubrankId(1 - self.0)
+    }
+}
+
+/// Why a request was issued — used to attribute traffic in the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// A demand read from a core (LLC miss).
+    Demand {
+        /// The requesting core.
+        core: u8,
+    },
+    /// An LLC dirty-victim writeback.
+    Writeback,
+    /// A Metadata-Cache install read (the overhead Attaché removes).
+    MetadataInstall,
+    /// A Metadata-Cache dirty-eviction write.
+    MetadataWriteback,
+    /// A Replacement-Area access (BLEM CID-collision handling).
+    ReplacementArea,
+    /// The corrective second-half fetch after a COPR misprediction.
+    Corrective {
+        /// The core whose demand read is being corrected.
+        core: u8,
+    },
+}
+
+impl Origin {
+    /// Whether this traffic is metadata overhead (not data movement).
+    pub fn is_metadata_overhead(&self) -> bool {
+        matches!(
+            self,
+            Origin::MetadataInstall | Origin::MetadataWriteback | Origin::ReplacementArea
+        )
+    }
+}
+
+/// A request presented to the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique id assigned by the requester.
+    pub id: u64,
+    /// 64-byte block address (byte address / 64).
+    pub line_addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Sub-rank footprint.
+    pub width: AccessWidth,
+    /// Traffic attribution.
+    pub origin: Origin,
+    /// Bus cycle at which the request entered the controller.
+    pub arrival: u64,
+}
+
+/// A finished request, reported back to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The original request.
+    pub request: MemRequest,
+    /// Bus cycle at which the data transfer finished.
+    pub finished_at: u64,
+}
+
+impl Completion {
+    /// Queueing + service latency in bus cycles.
+    pub fn latency(&self) -> u64 {
+        self.finished_at - self.request.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks_and_bytes() {
+        assert_eq!(AccessWidth::Half(SubrankId(0)).mask(), 0b01);
+        assert_eq!(AccessWidth::Half(SubrankId(1)).mask(), 0b10);
+        assert_eq!(AccessWidth::Full.mask(), 0b11);
+        assert_eq!(AccessWidth::Half(SubrankId(0)).bytes(), 32);
+        assert_eq!(AccessWidth::Full.bytes(), 64);
+        assert_eq!(AccessWidth::Half(SubrankId(1)).chips(), 4);
+        assert_eq!(AccessWidth::Full.chips(), 8);
+    }
+
+    #[test]
+    fn subrank_other_flips() {
+        assert_eq!(SubrankId(0).other(), SubrankId(1));
+        assert_eq!(SubrankId(1).other(), SubrankId(0));
+    }
+
+    #[test]
+    fn origin_overhead_classification() {
+        assert!(Origin::MetadataInstall.is_metadata_overhead());
+        assert!(Origin::MetadataWriteback.is_metadata_overhead());
+        assert!(Origin::ReplacementArea.is_metadata_overhead());
+        assert!(!Origin::Demand { core: 0 }.is_metadata_overhead());
+        assert!(!Origin::Corrective { core: 0 }.is_metadata_overhead());
+        assert!(!Origin::Writeback.is_metadata_overhead());
+    }
+
+    #[test]
+    fn completion_latency() {
+        let req = MemRequest {
+            id: 1,
+            line_addr: 0,
+            kind: AccessKind::Read,
+            width: AccessWidth::Full,
+            origin: Origin::Demand { core: 0 },
+            arrival: 100,
+        };
+        let c = Completion {
+            request: req,
+            finished_at: 148,
+        };
+        assert_eq!(c.latency(), 48);
+    }
+}

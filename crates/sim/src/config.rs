@@ -1,0 +1,171 @@
+//! Simulation configuration (Table II plus run controls).
+
+use attache_cache::{LlcConfig, MetadataCacheConfig};
+use attache_core::copr::CoprConfig;
+use attache_dram::{DramConfig, PowerParams};
+
+/// Which metadata scheme the memory controller runs — the comparison axis
+/// of Figs. 12-15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetadataStrategyKind {
+    /// No compression, no sub-ranking: the paper's baseline.
+    Baseline,
+    /// Compression + sub-ranking with an on-controller Metadata-Cache
+    /// (Memzip-style): metadata misses cost install reads, dirty evictions
+    /// cost writes.
+    MetadataCache,
+    /// Compression + sub-ranking with Attaché (BLEM + COPR): metadata
+    /// travels with data; the predictor chooses the sub-ranks.
+    Attache,
+    /// Compression + sub-ranking with free, always-correct metadata — the
+    /// "ideal" bars in Figs. 12-13.
+    Oracle,
+}
+
+impl core::fmt::Display for MetadataStrategyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            MetadataStrategyKind::Baseline => "Baseline",
+            MetadataStrategyKind::MetadataCache => "MetadataCache",
+            MetadataStrategyKind::Attache => "Attache",
+            MetadataStrategyKind::Oracle => "Ideal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Core-model parameters (Table II: 8 OoO cores, 4 GHz, 4-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Retire/issue width per CPU cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: u32,
+    /// Outstanding memory transactions per core (MSHRs).
+    pub max_outstanding: usize,
+    /// CPU cycles per memory-bus cycle, times two (Table II: 4 GHz over
+    /// 1600 MHz = 2.5, stored as 5 to stay integral).
+    pub cpu_cycles_per_2_bus_cycles: u32,
+}
+
+impl CoreConfig {
+    /// Table II: 8 cores, 4-wide, 4 GHz on a 1600 MHz bus.
+    pub fn table2() -> Self {
+        Self {
+            cores: 8,
+            issue_width: 4,
+            rob_size: 192,
+            max_outstanding: 8,
+            cpu_cycles_per_2_bus_cycles: 5,
+        }
+    }
+}
+
+/// The full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Core model parameters.
+    pub core: CoreConfig,
+    /// Shared LLC parameters.
+    pub llc: LlcConfig,
+    /// Memory system parameters.
+    pub dram: DramConfig,
+    /// DRAM electrical parameters.
+    pub power: PowerParams,
+    /// Metadata scheme under test.
+    pub strategy: MetadataStrategyKind,
+    /// Metadata-Cache parameters (used when `strategy` is
+    /// [`MetadataStrategyKind::MetadataCache`]).
+    pub metadata_cache: MetadataCacheConfig,
+    /// COPR component toggles/geometry (used when `strategy` is
+    /// [`MetadataStrategyKind::Attache`]). `None` selects the paper
+    /// default sized to the occupied footprint.
+    pub copr: Option<CoprConfig>,
+    /// Instructions to retire per core in the measured region.
+    pub instructions_per_core: u64,
+    /// Instructions to retire per core during warm-up (stats then reset).
+    pub warmup_instructions_per_core: u64,
+    /// Mean probability that a store flips its line's compressibility
+    /// class (per 16 stores), exercising metadata dirtiness.
+    pub store_version_salt: bool,
+    /// CID width in bits for BLEM's metadata header (the paper evaluates
+    /// 14 bits + 1 algorithm bit; Table I explores 13..=15).
+    pub cid_bits: u8,
+}
+
+impl SimConfig {
+    /// The paper's Table II baseline configuration with laptop-scale run
+    /// lengths.
+    pub fn table2_baseline() -> Self {
+        Self {
+            core: CoreConfig::table2(),
+            llc: LlcConfig::table2(),
+            dram: DramConfig::table2(),
+            power: PowerParams::ddr4_1600(),
+            strategy: MetadataStrategyKind::Baseline,
+            metadata_cache: MetadataCacheConfig::paper_1mb(),
+            copr: None,
+            instructions_per_core: 1_000_000,
+            warmup_instructions_per_core: 200_000,
+            store_version_salt: true,
+            cid_bits: 14,
+        }
+    }
+
+    /// Same configuration with a different strategy.
+    pub fn with_strategy(mut self, strategy: MetadataStrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Same configuration with a different run length.
+    pub fn with_instructions(mut self, measured: u64, warmup: u64) -> Self {
+        self.instructions_per_core = measured;
+        self.warmup_instructions_per_core = warmup;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let cfg = SimConfig::table2_baseline();
+        assert_eq!(cfg.core.cores, 8);
+        assert_eq!(cfg.core.issue_width, 4);
+        assert_eq!(cfg.llc.size_bytes, 8 << 20);
+        assert_eq!(cfg.llc.ways, 8);
+        assert_eq!(cfg.llc.latency_cycles, 20);
+        assert_eq!(cfg.dram.channels, 2);
+        assert_eq!(cfg.dram.ranks, 1);
+        assert_eq!(cfg.dram.bank_groups, 4);
+        assert_eq!(cfg.dram.banks_per_group, 4);
+        assert_eq!(cfg.dram.rows, 64 * 1024);
+        assert_eq!(cfg.dram.blocks_per_row, 128);
+        assert_eq!(cfg.dram.timing.t_rcd, 22);
+        assert_eq!(cfg.dram.timing.t_rp, 22);
+        assert_eq!(cfg.dram.timing.t_cas, 22);
+        // 4 GHz cpu over 1600 MHz bus = 2.5.
+        assert_eq!(cfg.core.cpu_cycles_per_2_bus_cycles, 5);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = SimConfig::table2_baseline()
+            .with_strategy(MetadataStrategyKind::Attache)
+            .with_instructions(1000, 100);
+        assert_eq!(cfg.strategy, MetadataStrategyKind::Attache);
+        assert_eq!(cfg.instructions_per_core, 1000);
+        assert_eq!(cfg.warmup_instructions_per_core, 100);
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(MetadataStrategyKind::Baseline.to_string(), "Baseline");
+        assert_eq!(MetadataStrategyKind::Oracle.to_string(), "Ideal");
+    }
+}

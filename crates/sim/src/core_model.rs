@@ -1,0 +1,254 @@
+//! The trace-driven out-of-order core model.
+//!
+//! A USIMM/Ariel-style approximation of the paper's 4-wide OoO cores: a
+//! reorder buffer holds a window of the instruction stream; loads that
+//! miss the LLC block retirement when they reach the head, while younger
+//! independent misses keep issuing (memory-level parallelism). Stores are
+//! posted through a store buffer and never block retirement once issued.
+//! This captures exactly the sensitivity the paper measures: how memory
+//! latency and bandwidth changes translate into IPC.
+
+use attache_workloads::TraceGenerator;
+use std::collections::VecDeque;
+
+/// Where a memory instruction stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemState {
+    /// Not yet presented to the LLC / memory system.
+    NeedIssue,
+    /// LLC hit: data ready at this CPU cycle.
+    WaitLlc(u64),
+    /// LLC miss: waiting on the memory transaction with this id.
+    WaitMem(u64),
+    /// Data available; the instruction may retire.
+    Ready,
+}
+
+/// One reorder-buffer slot: either a batch of non-memory instructions or a
+/// single memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// `remaining` non-memory instructions.
+    Gap {
+        /// Instructions left to retire from this batch.
+        remaining: u32,
+    },
+    /// A memory instruction.
+    Mem {
+        /// Physical line address.
+        line: u64,
+        /// Store (true) or load (false).
+        is_write: bool,
+        /// Progress state.
+        state: MemState,
+    },
+}
+
+/// One simulated core.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index.
+    pub id: usize,
+    trace: TraceGenerator,
+    base_line: u64,
+    /// The reorder buffer.
+    pub rob: VecDeque<Slot>,
+    /// Instructions currently held in the ROB.
+    pub occupancy: u32,
+    /// Instructions retired since the last reset.
+    pub retired: u64,
+    /// Local CPU cycle counter.
+    pub cpu_now: u64,
+    /// Outstanding memory transactions (MSHR occupancy).
+    pub outstanding: usize,
+}
+
+impl Core {
+    /// Creates a core running `trace` with its footprint based at
+    /// `base_line`.
+    pub fn new(id: usize, trace: TraceGenerator, base_line: u64) -> Self {
+        Self {
+            id,
+            trace,
+            base_line,
+            rob: VecDeque::new(),
+            occupancy: 0,
+            retired: 0,
+            cpu_now: 0,
+            outstanding: 0,
+        }
+    }
+
+    /// Fills the ROB from the trace up to `rob_size` instructions.
+    pub fn fill_rob(&mut self, rob_size: u32) {
+        while self.occupancy < rob_size {
+            let ev = self.trace.next_event();
+            if ev.gap_instructions > 0 {
+                self.rob.push_back(Slot::Gap {
+                    remaining: ev.gap_instructions,
+                });
+                self.occupancy += ev.gap_instructions;
+            }
+            self.rob.push_back(Slot::Mem {
+                line: self.base_line + ev.line_offset,
+                is_write: ev.is_write,
+                state: MemState::NeedIssue,
+            });
+            self.occupancy += 1;
+        }
+    }
+
+    /// Retires up to `width` instructions from the ROB head; returns how
+    /// many retired.
+    pub fn retire(&mut self, width: u32) -> u32 {
+        let mut budget = width;
+        while budget > 0 {
+            match self.rob.front_mut() {
+                Some(Slot::Gap { remaining }) => {
+                    let take = (*remaining).min(budget);
+                    *remaining -= take;
+                    budget -= take;
+                    self.occupancy -= take;
+                    self.retired += take as u64;
+                    if *remaining == 0 {
+                        self.rob.pop_front();
+                    }
+                }
+                Some(Slot::Mem {
+                    is_write, state, ..
+                }) => {
+                    let ready = if *is_write {
+                        // Stores retire once issued (store buffer).
+                        *state != MemState::NeedIssue
+                    } else {
+                        match *state {
+                            MemState::Ready => true,
+                            MemState::WaitLlc(t) => t <= self.cpu_now,
+                            _ => false,
+                        }
+                    };
+                    if !ready {
+                        break;
+                    }
+                    self.rob.pop_front();
+                    self.occupancy -= 1;
+                    self.retired += 1;
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+        width - budget
+    }
+
+    /// Marks every load waiting on transaction `txn` as ready, without
+    /// touching the MSHR count (used for piggybacked waiters).
+    pub fn mark_txn_ready(&mut self, txn: u64) {
+        for slot in self.rob.iter_mut() {
+            if let Slot::Mem { state, .. } = slot {
+                if *state == MemState::WaitMem(txn) {
+                    *state = MemState::Ready;
+                }
+            }
+        }
+    }
+
+    /// Marks every load waiting on transaction `txn` as ready and releases
+    /// the initiator's MSHR slot.
+    pub fn complete_txn(&mut self, txn: u64) {
+        self.mark_txn_ready(txn);
+        debug_assert!(self.outstanding > 0);
+        self.outstanding -= 1;
+    }
+
+    /// Resets retirement counting (warm-up boundary).
+    pub fn reset_retired(&mut self) {
+        self.retired = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attache_workloads::Profile;
+
+    fn core() -> Core {
+        Core::new(0, TraceGenerator::new(&Profile::stream(), 1), 0)
+    }
+
+    #[test]
+    fn fill_respects_rob_size() {
+        let mut c = core();
+        c.fill_rob(192);
+        assert!(c.occupancy >= 192);
+        // Overshoot is at most one gap batch + one memory instruction.
+        assert!(c.occupancy < 192 + 64);
+    }
+
+    #[test]
+    fn gaps_retire_at_issue_width() {
+        let mut c = core();
+        c.rob.push_back(Slot::Gap { remaining: 10 });
+        c.occupancy = 10;
+        assert_eq!(c.retire(4), 4);
+        assert_eq!(c.retire(4), 4);
+        assert_eq!(c.retire(4), 2);
+        assert_eq!(c.retired, 10);
+    }
+
+    #[test]
+    fn pending_load_blocks_retirement() {
+        let mut c = core();
+        c.rob.push_back(Slot::Mem {
+            line: 0,
+            is_write: false,
+            state: MemState::WaitMem(7),
+        });
+        c.rob.push_back(Slot::Gap { remaining: 8 });
+        c.occupancy = 9;
+        assert_eq!(c.retire(4), 0, "load at head blocks");
+        c.outstanding = 1;
+        c.complete_txn(7);
+        assert_eq!(c.retire(4), 4, "load + 3 gap instructions");
+    }
+
+    #[test]
+    fn issued_store_does_not_block() {
+        let mut c = core();
+        c.rob.push_back(Slot::Mem {
+            line: 0,
+            is_write: true,
+            state: MemState::WaitMem(3),
+        });
+        c.rob.push_back(Slot::Gap { remaining: 4 });
+        c.occupancy = 5;
+        assert_eq!(c.retire(4), 4, "posted store retires immediately");
+    }
+
+    #[test]
+    fn unissued_store_blocks() {
+        let mut c = core();
+        c.rob.push_back(Slot::Mem {
+            line: 0,
+            is_write: true,
+            state: MemState::NeedIssue,
+        });
+        c.occupancy = 1;
+        assert_eq!(c.retire(4), 0);
+    }
+
+    #[test]
+    fn llc_hit_ready_after_latency() {
+        let mut c = core();
+        c.rob.push_back(Slot::Mem {
+            line: 0,
+            is_write: false,
+            state: MemState::WaitLlc(20),
+        });
+        c.occupancy = 1;
+        c.cpu_now = 19;
+        assert_eq!(c.retire(4), 0);
+        c.cpu_now = 20;
+        assert_eq!(c.retire(4), 1);
+    }
+}

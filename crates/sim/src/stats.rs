@@ -1,0 +1,173 @@
+//! Run-level reports: everything a figure needs from one simulation.
+
+use attache_cache::metadata_cache::MetadataTraffic;
+use attache_cache::CacheStats;
+use attache_core::blem::BlemStats;
+use attache_core::copr::CoprStats;
+use attache_core::replacement_area::ReplacementAreaStats;
+use attache_dram::{ChannelStats, EnergyBreakdown};
+
+use crate::config::MetadataStrategyKind;
+use crate::strategy::StrategyStats;
+
+/// Memory-bus period at 1600 MHz, in nanoseconds.
+pub const BUS_CYCLE_NS: f64 = 0.625;
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name (benchmark or mix).
+    pub name: String,
+    /// The metadata strategy that ran.
+    pub strategy: MetadataStrategyKind,
+    /// Memory-bus cycles in the measured region.
+    pub bus_cycles: u64,
+    /// Instructions retired in the measured region (all cores).
+    pub instructions: u64,
+    /// Aggregated memory-system statistics.
+    pub mem: ChannelStats,
+    /// DRAM energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Shared-LLC statistics.
+    pub llc: CacheStats,
+    /// Strategy-level read/write counters.
+    pub strategy_stats: StrategyStats,
+    /// COPR accuracy (Attaché runs only).
+    pub copr: Option<CoprStats>,
+    /// BLEM counters (Attaché runs only).
+    pub blem: Option<BlemStats>,
+    /// Replacement-Area counters (Attaché runs only).
+    pub ra: Option<ReplacementAreaStats>,
+    /// Metadata-Cache statistics and traffic (MetadataCache runs only).
+    pub metadata_cache: Option<(CacheStats, MetadataTraffic)>,
+}
+
+impl RunReport {
+    /// CPU cycles in the measured region (4 GHz core over the 1600 MHz
+    /// bus: 2.5 CPU cycles per bus cycle).
+    pub fn cpu_cycles(&self) -> u64 {
+        self.bus_cycles * 5 / 2
+    }
+
+    /// Total instructions retired across cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Aggregate instructions per CPU cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cpu_cycles() == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cpu_cycles() as f64
+        }
+    }
+
+    /// Speedup relative to `baseline` for the same configured work
+    /// (ratio of execution times).
+    ///
+    /// The measured region stops once the *total* retired-instruction
+    /// target is reached, so two runs may overshoot it by a handful of
+    /// instructions each; they must still be within 1% of each other.
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        debug_assert!(
+            (self.instructions as f64 - baseline.instructions as f64).abs()
+                <= baseline.instructions as f64 * 0.01,
+            "speedup comparison across different workloads: {} vs {}",
+            self.instructions,
+            baseline.instructions
+        );
+        baseline.bus_cycles as f64 / self.bus_cycles as f64
+    }
+
+    /// Energy relative to `baseline` (< 1 means savings).
+    pub fn energy_ratio_vs(&self, baseline: &RunReport) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+
+    /// Average demand-read latency in nanoseconds.
+    pub fn avg_read_latency_ns(&self) -> f64 {
+        self.mem.avg_read_latency() * BUS_CYCLE_NS
+    }
+
+    /// Mean consumed memory bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.bus_cycles == 0 {
+            0.0
+        } else {
+            self.mem.bytes as f64 / (self.bus_cycles as f64 * BUS_CYCLE_NS)
+        }
+    }
+
+    /// Fraction of demand reads that found a compressed block.
+    pub fn compressed_read_fraction(&self) -> f64 {
+        if self.strategy_stats.reads == 0 {
+            0.0
+        } else {
+            self.strategy_stats.compressed_reads as f64 / self.strategy_stats.reads as f64
+        }
+    }
+
+    /// Memory requests attributable to metadata management, as a fraction
+    /// of demand traffic (the Fig. 1 / Fig. 15 metric).
+    pub fn metadata_traffic_overhead(&self) -> f64 {
+        let demand = self.mem.demand_reads + self.mem.corrective_reads + self.mem.data_writes;
+        let metadata = self.mem.metadata_reads
+            + self.mem.metadata_writes
+            + self.mem.replacement_area_reads
+            + self.mem.replacement_area_writes;
+        if demand == 0 {
+            0.0
+        } else {
+            metadata as f64 / demand as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(bus_cycles: u64, instructions: u64) -> RunReport {
+        RunReport {
+            name: "test".into(),
+            strategy: MetadataStrategyKind::Baseline,
+            bus_cycles,
+            instructions,
+            mem: ChannelStats::default(),
+            energy: EnergyBreakdown::default(),
+            llc: CacheStats::default(),
+            strategy_stats: StrategyStats::default(),
+            copr: None,
+            blem: None,
+            ra: None,
+            metadata_cache: None,
+        }
+    }
+
+    #[test]
+    fn cpu_cycles_are_2_5x_bus() {
+        assert_eq!(blank(1000, 0).cpu_cycles(), 2500);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = blank(2000, 100);
+        let fast = blank(1000, 100);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_counts_all_cores() {
+        let r = blank(1000, 5000);
+        assert!((r.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_overhead_fraction() {
+        let mut r = blank(100, 100);
+        r.mem.demand_reads = 100;
+        r.mem.metadata_reads = 25;
+        assert!((r.metadata_traffic_overhead() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,635 @@
+//! The four metadata strategies behind one interface.
+//!
+//! Everything else in the pipeline — cores, LLC, DRAM — is identical across
+//! configurations; only the strategy decides (a) how the controller learns
+//! a block's compressibility before reading, (b) what width each access
+//! uses, and (c) what *extra* requests metadata management injects. This is
+//! what makes the Figs. 12-15 comparisons apples-to-apples.
+
+use attache_cache::{MetadataCache, MetadataCacheConfig};
+use attache_compress::CompressionEngine;
+use attache_core::blem::{Blem, StoredImage};
+use attache_core::copr::{Copr, CoprConfig};
+use attache_dram::{AccessKind, AccessWidth, AddressMapping, Origin, SubrankId};
+use std::collections::HashMap;
+
+use crate::backend::MemoryBackend;
+use crate::config::MetadataStrategyKind;
+
+/// A request the strategy wants issued (the system assigns ids/cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqSpec {
+    /// Physical line address.
+    pub line: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Sub-rank footprint.
+    pub width: AccessWidth,
+    /// Traffic attribution.
+    pub origin: Origin,
+}
+
+/// How a demand read must be orchestrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// A metadata install read that must complete *before* the data read
+    /// can be issued (Metadata-Cache misses only).
+    pub meta_first: Option<ReqSpec>,
+    /// The data read itself.
+    pub data: ReqSpec,
+    /// Fire-and-forget side traffic (metadata eviction writes).
+    pub side: Vec<ReqSpec>,
+    /// COPR's prediction, if a predictor is active (resolved later).
+    pub predicted_compressed: Option<bool>,
+}
+
+/// How a writeback must be orchestrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePlan {
+    /// The data write.
+    pub data: ReqSpec,
+    /// Fire-and-forget side traffic (metadata installs/evictions,
+    /// Replacement-Area writes).
+    pub side: Vec<ReqSpec>,
+}
+
+/// Read-resolution statistics kept by the strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrategyStats {
+    /// Demand reads resolved.
+    pub reads: u64,
+    /// Demand reads that found a compressed block.
+    pub compressed_reads: u64,
+    /// Writebacks planned.
+    pub writes: u64,
+    /// Writebacks that stored a compressed block.
+    pub compressed_writes: u64,
+}
+
+/// The strategy state machine.
+#[derive(Debug)]
+pub struct Strategy {
+    kind: MetadataStrategyKind,
+    engine: CompressionEngine,
+    mapping: AddressMapping,
+    // MetadataCache / Oracle state: the stored layout's compressibility.
+    stored_comp: HashMap<u64, bool>,
+    meta_cache: Option<MetadataCache>,
+    // Attaché state.
+    blem: Option<Blem>,
+    copr: Option<Copr>,
+    images: HashMap<u64, StoredImage>,
+    stats: StrategyStats,
+}
+
+impl Strategy {
+    /// Builds the strategy for `kind`.
+    pub fn new(
+        kind: MetadataStrategyKind,
+        mapping: AddressMapping,
+        metadata_cache: MetadataCacheConfig,
+        copr: CoprConfig,
+        seed: u64,
+    ) -> Self {
+        Self::with_cid_bits(kind, mapping, metadata_cache, copr, seed, 14)
+    }
+
+    /// Builds the strategy with an explicit BLEM CID width (Table I).
+    pub fn with_cid_bits(
+        kind: MetadataStrategyKind,
+        mapping: AddressMapping,
+        metadata_cache: MetadataCacheConfig,
+        copr: CoprConfig,
+        seed: u64,
+        cid_bits: u8,
+    ) -> Self {
+        let meta_cache = (kind == MetadataStrategyKind::MetadataCache)
+            .then(|| MetadataCache::new(metadata_cache));
+        let blem = (kind == MetadataStrategyKind::Attache)
+            .then(|| Blem::with_config(seed, attache_core::header::CidConfig::new(cid_bits)));
+        let copr = (kind == MetadataStrategyKind::Attache).then(|| Copr::new(copr));
+        Self {
+            kind,
+            engine: CompressionEngine::new(),
+            mapping,
+            stored_comp: HashMap::new(),
+            meta_cache,
+            blem,
+            copr,
+            images: HashMap::new(),
+            stats: StrategyStats::default(),
+        }
+    }
+
+    /// The strategy kind.
+    pub fn kind(&self) -> MetadataStrategyKind {
+        self.kind
+    }
+
+    /// The compressed line's home sub-rank: odd rows in sub-rank 0, even
+    /// rows in sub-rank 1 (§IV-E).
+    pub fn primary_subrank(&self, line: u64) -> SubrankId {
+        SubrankId((self.mapping.decompose(line).row % 2) as u8)
+    }
+
+    /// The block holding `line`'s compression metadata. Following the
+    /// paper's Fig. 7, metadata lives **in the same DRAM row** as its
+    /// data (the head block of the row), so an install issued around the
+    /// data access is a row-buffer hit, not a second random access.
+    pub fn metadata_line_of(&self, line: u64) -> u64 {
+        let mut loc = self.mapping.decompose(line);
+        loc.col = 0;
+        self.mapping.compose(loc)
+    }
+
+    /// The stored layout's compressibility for `line`.
+    ///
+    /// Lines that were written back carry explicit state; lines still in
+    /// their boot-time (pristine) state are evaluated on demand — the
+    /// stored image is a deterministic function of the pristine contents,
+    /// so nothing needs to be materialized.
+    fn actual_compressed(&self, line: u64, backend: &MemoryBackend) -> bool {
+        match self.kind {
+            MetadataStrategyKind::Baseline => false,
+            MetadataStrategyKind::Attache => match self.images.get(&line) {
+                Some(img) => img.is_compressed(),
+                None => {
+                    let blem = self.blem.as_ref().expect("attache has blem");
+                    blem.probe_line(line, &backend.pristine_content(line)).0
+                }
+            },
+            MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
+                match self.stored_comp.get(&line) {
+                    Some(&c) => c,
+                    None => self.engine.fits_subrank(&backend.pristine_content(line)),
+                }
+            }
+        }
+    }
+
+    /// Plans a demand read of `line` for `core`.
+    pub fn plan_read(&mut self, line: u64, core: u8, backend: &MemoryBackend) -> ReadPlan {
+        let actual = self.actual_compressed(line, backend);
+        let demand = Origin::Demand { core };
+        match self.kind {
+            MetadataStrategyKind::Baseline => ReadPlan {
+                meta_first: None,
+                data: ReqSpec {
+                    line,
+                    kind: AccessKind::Read,
+                    width: AccessWidth::Full,
+                    origin: demand,
+                },
+                side: Vec::new(),
+                predicted_compressed: None,
+            },
+            MetadataStrategyKind::Oracle => ReadPlan {
+                meta_first: None,
+                data: ReqSpec {
+                    line,
+                    kind: AccessKind::Read,
+                    width: self.width_for(line, actual),
+                    origin: demand,
+                },
+                side: Vec::new(),
+                predicted_compressed: None,
+            },
+            MetadataStrategyKind::MetadataCache => {
+                let mc = self.meta_cache.as_mut().expect("metadata cache present");
+                let lookup = mc.lookup(line);
+                let meta_line = self.metadata_line_of(line);
+                let meta_first = lookup.install_read.then_some(ReqSpec {
+                    line: meta_line,
+                    kind: AccessKind::Read,
+                    width: AccessWidth::Full,
+                    origin: Origin::MetadataInstall,
+                });
+                let side = if lookup.eviction_write {
+                    vec![ReqSpec {
+                        line: meta_line,
+                        kind: AccessKind::Write,
+                        width: AccessWidth::Full,
+                        origin: Origin::MetadataWriteback,
+                    }]
+                } else {
+                    Vec::new()
+                };
+                ReadPlan {
+                    meta_first,
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Read,
+                        width: self.width_for(line, actual),
+                        origin: demand,
+                    },
+                    side,
+                    predicted_compressed: None,
+                }
+            }
+            MetadataStrategyKind::Attache => {
+                let predicted = self.copr.as_ref().expect("copr present").predict(line);
+                let width = self.width_for(line, predicted);
+                ReadPlan {
+                    meta_first: None,
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Read,
+                        width,
+                        origin: demand,
+                    },
+                    side: Vec::new(),
+                    predicted_compressed: Some(predicted),
+                }
+            }
+        }
+    }
+
+    fn width_for(&self, line: u64, compressed: bool) -> AccessWidth {
+        if compressed {
+            AccessWidth::Half(self.primary_subrank(line))
+        } else {
+            AccessWidth::Full
+        }
+    }
+
+    /// Called when the demand data read of `line` completes; returns the
+    /// follow-up requests the transaction must still wait on (corrective
+    /// second-half fetches, Replacement-Area reads).
+    pub fn on_read_data(
+        &mut self,
+        line: u64,
+        predicted: Option<bool>,
+        core: u8,
+        backend: &MemoryBackend,
+    ) -> Vec<ReqSpec> {
+        self.stats.reads += 1;
+        match self.kind {
+            MetadataStrategyKind::Baseline => Vec::new(),
+            MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
+                if self.actual_compressed(line, backend) {
+                    self.stats.compressed_reads += 1;
+                }
+                Vec::new()
+            }
+            MetadataStrategyKind::Attache => {
+                // Written-back lines go through the full functional BLEM
+                // read (verifying the header flow and servicing the RA);
+                // pristine lines are evaluated with the pure probe.
+                let (actual, collision) = match self.images.get(&line) {
+                    Some(image) => {
+                        let image = image.clone();
+                        let blem = self.blem.as_mut().expect("blem present");
+                        let (_, info) = blem.read_line(line, &image);
+                        (info.compressed, info.collision)
+                    }
+                    None => {
+                        let blem = self.blem.as_ref().expect("blem present");
+                        blem.probe_line(line, &backend.pristine_content(line))
+                    }
+                };
+                if actual {
+                    self.stats.compressed_reads += 1;
+                }
+                let predicted = predicted.expect("attache reads carry a prediction");
+                let copr = self.copr.as_mut().expect("copr present");
+                copr.record(predicted, actual);
+                copr.train(line, actual);
+                let mut follow = Vec::new();
+                if predicted && !actual {
+                    // COPR overpredicted: fetch the other 32B half.
+                    follow.push(ReqSpec {
+                        line,
+                        kind: AccessKind::Read,
+                        width: AccessWidth::Half(self.primary_subrank(line).other()),
+                        origin: Origin::Corrective { core },
+                    });
+                }
+                if collision {
+                    follow.push(ReqSpec {
+                        line: backend.ra_line_of(line),
+                        kind: AccessKind::Read,
+                        width: AccessWidth::Full,
+                        origin: Origin::ReplacementArea,
+                    });
+                }
+                follow
+            }
+        }
+    }
+
+    /// Plans a writeback of `line` (LLC dirty eviction) for `core`.
+    pub fn plan_write(&mut self, line: u64, _core: u8, backend: &MemoryBackend) -> WritePlan {
+        self.stats.writes += 1;
+        match self.kind {
+            MetadataStrategyKind::Baseline => WritePlan {
+                data: ReqSpec {
+                    line,
+                    kind: AccessKind::Write,
+                    width: AccessWidth::Full,
+                    origin: Origin::Writeback,
+                },
+                side: Vec::new(),
+            },
+            MetadataStrategyKind::Oracle => {
+                let c = self.engine.fits_subrank(&backend.content(line));
+                self.stored_comp.insert(line, c);
+                if c {
+                    self.stats.compressed_writes += 1;
+                }
+                WritePlan {
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Write,
+                        width: self.width_for(line, c),
+                        origin: Origin::Writeback,
+                    },
+                    side: Vec::new(),
+                }
+            }
+            MetadataStrategyKind::MetadataCache => {
+                let c = self.engine.fits_subrank(&backend.content(line));
+                let old = self
+                    .stored_comp
+                    .insert(line, c)
+                    .unwrap_or_else(|| {
+                        self.engine.fits_subrank(&backend.pristine_content(line))
+                    });
+                if c {
+                    self.stats.compressed_writes += 1;
+                }
+                let changed = old != c;
+                let mc = self.meta_cache.as_mut().expect("metadata cache present");
+                let lookup = if changed { mc.update(line) } else { mc.lookup(line) };
+                let meta_line = self.metadata_line_of(line);
+                let mut side = Vec::new();
+                if lookup.install_read {
+                    side.push(ReqSpec {
+                        line: meta_line,
+                        kind: AccessKind::Read,
+                        width: AccessWidth::Full,
+                        origin: Origin::MetadataInstall,
+                    });
+                }
+                if lookup.eviction_write {
+                    side.push(ReqSpec {
+                        line: meta_line,
+                        kind: AccessKind::Write,
+                        width: AccessWidth::Full,
+                        origin: Origin::MetadataWriteback,
+                    });
+                }
+                WritePlan {
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Write,
+                        width: self.width_for(line, c),
+                        origin: Origin::Writeback,
+                    },
+                    side,
+                }
+            }
+            MetadataStrategyKind::Attache => {
+                let blem = self.blem.as_mut().expect("blem present");
+                let w = blem.write_line(line, &backend.content(line));
+                let compressed = w.compressed;
+                let collision = w.collision;
+                self.images.insert(line, w.image);
+                if compressed {
+                    self.stats.compressed_writes += 1;
+                }
+                self.copr
+                    .as_mut()
+                    .expect("copr present")
+                    .train(line, compressed);
+                let mut side = Vec::new();
+                if collision {
+                    side.push(ReqSpec {
+                        line: backend.ra_line_of(line),
+                        kind: AccessKind::Write,
+                        width: AccessWidth::Full,
+                        origin: Origin::ReplacementArea,
+                    });
+                }
+                WritePlan {
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Write,
+                        width: self.width_for(line, compressed),
+                        origin: Origin::Writeback,
+                    },
+                    side,
+                }
+            }
+        }
+    }
+
+    /// Read-side latency of the metadata structure consulted before a read
+    /// is issued, in **bus cycles** (8 CPU cycles ≈ 3 bus cycles for both
+    /// the Metadata-Cache and COPR, per §V; zero for baseline/oracle).
+    pub fn lookup_delay_bus_cycles(&self) -> u64 {
+        match self.kind {
+            MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Attache => 3,
+            _ => 0,
+        }
+    }
+
+    /// Strategy-level counters.
+    pub fn stats(&self) -> StrategyStats {
+        self.stats
+    }
+
+    /// COPR accuracy counters (Attaché only).
+    pub fn copr_stats(&self) -> Option<attache_core::copr::CoprStats> {
+        self.copr.as_ref().map(|c| c.stats())
+    }
+
+    /// BLEM counters (Attaché only).
+    pub fn blem_stats(&self) -> Option<attache_core::blem::BlemStats> {
+        self.blem.as_ref().map(|b| b.stats())
+    }
+
+    /// Replacement-Area counters (Attaché only).
+    pub fn ra_stats(&self) -> Option<attache_core::replacement_area::ReplacementAreaStats> {
+        self.blem.as_ref().map(|b| b.ra_stats())
+    }
+
+    /// Metadata-Cache statistics (MetadataCache only).
+    pub fn metadata_cache_stats(
+        &self,
+    ) -> Option<(attache_cache::CacheStats, attache_cache::metadata_cache::MetadataTraffic)> {
+        self.meta_cache.as_ref().map(|m| (m.stats(), m.traffic()))
+    }
+
+    /// Resets all statistics after warm-up (training state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = StrategyStats::default();
+        if let Some(c) = self.copr.as_mut() {
+            c.reset_stats();
+        }
+        if let Some(b) = self.blem.as_mut() {
+            b.reset_stats();
+        }
+        if let Some(m) = self.meta_cache.as_mut() {
+            m.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attache_cache::MetadataCacheConfig;
+    use attache_core::copr::CoprConfig;
+    use attache_dram::DramConfig;
+    use attache_workloads::Profile;
+
+    fn backend() -> MemoryBackend {
+        MemoryBackend::new(&[Profile::stream(), Profile::rand()], 9)
+    }
+
+    fn strategy(kind: MetadataStrategyKind) -> Strategy {
+        Strategy::new(
+            kind,
+            AddressMapping::new(DramConfig::table2()),
+            MetadataCacheConfig::paper_1mb(),
+            CoprConfig::paper_default(1 << 22),
+            9,
+        )
+    }
+
+    #[test]
+    fn baseline_reads_and_writes_are_always_full_width() {
+        let mut s = strategy(MetadataStrategyKind::Baseline);
+        let b = backend();
+        for line in [0u64, 17, 999] {
+            let plan = s.plan_read(line, 0, &b);
+            assert_eq!(plan.data.width, AccessWidth::Full);
+            assert!(plan.meta_first.is_none());
+            assert!(plan.side.is_empty());
+            assert!(plan.predicted_compressed.is_none());
+            let wp = s.plan_write(line, 0, &b);
+            assert_eq!(wp.data.width, AccessWidth::Full);
+            assert!(wp.side.is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_width_matches_actual_compressibility() {
+        let mut s = strategy(MetadataStrategyKind::Oracle);
+        let b = backend();
+        // Region 1 is RAND (incompressible): oracle must read full width.
+        let rand_base = b.core_base(1);
+        let plan = s.plan_read(rand_base + 5, 0, &b);
+        assert_eq!(plan.data.width, AccessWidth::Full);
+        // Find a compressible stream line; oracle must read half width.
+        let comp_line = (0..500u64)
+            .find(|&l| s.actual_compressed(l, &b))
+            .expect("stream region has compressible lines");
+        let plan = s.plan_read(comp_line, 0, &b);
+        assert!(matches!(plan.data.width, AccessWidth::Half(_)));
+    }
+
+    #[test]
+    fn primary_subrank_follows_row_parity() {
+        let s = strategy(MetadataStrategyKind::Attache);
+        let mapping = AddressMapping::new(DramConfig::table2());
+        for line in [0u64, 12345, 777_777] {
+            let loc = mapping.decompose(line);
+            assert_eq!(
+                s.primary_subrank(line).0 as usize,
+                loc.row % 2,
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_cache_cold_read_issues_install_then_data() {
+        let mut s = strategy(MetadataStrategyKind::MetadataCache);
+        let b = backend();
+        let plan = s.plan_read(42, 0, &b);
+        let meta = plan.meta_first.expect("cold lookup misses");
+        assert_eq!(meta.origin, Origin::MetadataInstall);
+        assert_eq!(meta.kind, AccessKind::Read);
+        assert_eq!(meta.line, s.metadata_line_of(42));
+        // Fig. 7 placement: the install targets the same DRAM row.
+        let mapping = AddressMapping::new(DramConfig::table2());
+        let data_loc = mapping.decompose(42);
+        let meta_loc = mapping.decompose(meta.line);
+        assert_eq!(meta_loc.row, data_loc.row);
+        assert_eq!(meta_loc.bank, data_loc.bank);
+        assert_eq!(meta_loc.channel, data_loc.channel);
+        // Second read in the covered 128-block region hits: no install.
+        let plan2 = s.plan_read(43, 0, &b);
+        assert!(plan2.meta_first.is_none());
+    }
+
+    #[test]
+    fn attache_overprediction_costs_one_corrective_read() {
+        let mut s = strategy(MetadataStrategyKind::Attache);
+        let b = backend();
+        let rand_base = b.core_base(1);
+        // Train COPR to believe everything is compressed.
+        for i in 0..256 {
+            if let Some(copr) = s.copr.as_mut() {
+                copr.train(rand_base + i, true);
+            }
+        }
+        let line = rand_base + 3;
+        let plan = s.plan_read(line, 0, &b);
+        assert_eq!(plan.predicted_compressed, Some(true));
+        assert!(matches!(plan.data.width, AccessWidth::Half(_)));
+        let follow = s.on_read_data(line, plan.predicted_compressed, 0, &b);
+        let corrective: Vec<_> = follow
+            .iter()
+            .filter(|f| matches!(f.origin, Origin::Corrective { .. }))
+            .collect();
+        assert_eq!(corrective.len(), 1, "one corrective half fetch");
+        assert!(matches!(
+            corrective[0].width,
+            AccessWidth::Half(sr) if sr == s.primary_subrank(line).other()
+        ));
+    }
+
+    #[test]
+    fn attache_underprediction_costs_nothing() {
+        let mut s = strategy(MetadataStrategyKind::Attache);
+        let b = backend();
+        // Cold predictor: predicts uncompressed; stream lines are often
+        // compressed -> underprediction, but both halves were fetched.
+        let comp_line = (0..500u64)
+            .find(|&l| s.actual_compressed(l, &b))
+            .expect("compressible line exists");
+        let plan = s.plan_read(comp_line, 0, &b);
+        assert_eq!(plan.predicted_compressed, Some(false));
+        assert_eq!(plan.data.width, AccessWidth::Full);
+        let follow = s.on_read_data(comp_line, plan.predicted_compressed, 0, &b);
+        assert!(follow.is_empty());
+        let stats = s.copr_stats().unwrap();
+        assert_eq!(stats.underpredictions, 1);
+        assert_eq!(stats.overpredictions, 0);
+    }
+
+    #[test]
+    fn attache_writeback_of_compressed_line_is_half_width() {
+        let mut s = strategy(MetadataStrategyKind::Attache);
+        let b = backend();
+        let comp_line = (0..500u64)
+            .find(|&l| s.actual_compressed(l, &b))
+            .expect("compressible line exists");
+        let wp = s.plan_write(comp_line, 0, &b);
+        assert!(matches!(wp.data.width, AccessWidth::Half(_)));
+        assert_eq!(wp.data.origin, Origin::Writeback);
+    }
+
+    #[test]
+    fn lookup_delays_match_strategies() {
+        assert_eq!(strategy(MetadataStrategyKind::Baseline).lookup_delay_bus_cycles(), 0);
+        assert_eq!(strategy(MetadataStrategyKind::Oracle).lookup_delay_bus_cycles(), 0);
+        assert_eq!(strategy(MetadataStrategyKind::Attache).lookup_delay_bus_cycles(), 3);
+        assert_eq!(
+            strategy(MetadataStrategyKind::MetadataCache).lookup_delay_bus_cycles(),
+            3
+        );
+    }
+}

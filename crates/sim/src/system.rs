@@ -1,0 +1,494 @@
+//! The full system: cores + shared LLC + metadata strategy + DRAM.
+
+use attache_core::copr::CoprConfig;
+use attache_dram::{
+    AccessKind, AddressMapping, Completion, MemRequest, MemorySystem,
+};
+use attache_workloads::{MixWorkload, Profile, TraceGenerator};
+use std::collections::{HashMap, VecDeque};
+
+use crate::backend::MemoryBackend;
+use crate::config::SimConfig;
+use crate::core_model::{Core, MemState, Slot};
+use crate::stats::RunReport;
+use crate::strategy::{ReqSpec, Strategy};
+
+/// Cap on deferred (queue-full) requests before cores stop issuing.
+const RETRY_CAP: usize = 256;
+
+#[derive(Debug)]
+#[allow(clippy::enum_variant_names)] // the states *are* all waits
+enum TxnState {
+    /// Waiting for a metadata install read; the data read follows.
+    WaitMeta { data: ReqSpec },
+    /// Waiting for the demand data read.
+    WaitData,
+    /// Waiting for corrective / Replacement-Area follow-ups.
+    WaitFollow { remaining: u32 },
+}
+
+#[derive(Debug)]
+struct Txn {
+    line: u64,
+    core: usize,
+    predicted: Option<bool>,
+    state: TxnState,
+    /// Cores whose ROB entries wait on this transaction; `true` if the
+    /// entry holds an MSHR slot (the initiator).
+    waiters: Vec<(usize, bool)>,
+}
+
+/// The simulated system. Construct indirectly through
+/// [`System::run_rate_mode`], [`System::run_mix`] or
+/// [`System::run_profiles`].
+#[derive(Debug)]
+pub struct System {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    llc: attache_cache::Llc,
+    mem: MemorySystem,
+    strategy: Strategy,
+    backend: MemoryBackend,
+    txns: HashMap<u64, Txn>,
+    txn_by_req: HashMap<u64, u64>,
+    pending_lines: HashMap<u64, u64>,
+    retry_q: VecDeque<MemRequest>,
+    delayed: Vec<(u64, MemRequest, Option<u64>)>,
+    next_txn: u64,
+    next_req: u64,
+    cpu_accum: u32,
+}
+
+impl System {
+    /// Runs `profile` in rate mode (all cores execute the same profile, as
+    /// in the paper's single-benchmark experiments) and reports.
+    pub fn run_rate_mode(cfg: &SimConfig, profile: Profile, seed: u64) -> RunReport {
+        let name = profile.name.to_string();
+        let profiles = vec![profile; cfg.core.cores];
+        Self::run_profiles(cfg, &profiles, &name, seed)
+    }
+
+    /// Runs an 8-threaded mixed workload.
+    pub fn run_mix(cfg: &SimConfig, mix: &MixWorkload, seed: u64) -> RunReport {
+        assert_eq!(
+            mix.cores.len(),
+            cfg.core.cores,
+            "mix must provide one profile per core"
+        );
+        Self::run_profiles(cfg, &mix.cores, mix.name, seed)
+    }
+
+    /// Runs one profile per core: warm-up, stats reset, measured region.
+    ///
+    /// The measured region ends when the *total* retired instruction count
+    /// reaches `cores x instructions_per_core` — the aggregate-throughput
+    /// criterion. (Waiting for every core individually would measure the
+    /// max over per-core tails, which is noisy.)
+    pub fn run_profiles(cfg: &SimConfig, profiles: &[Profile], name: &str, seed: u64) -> RunReport {
+        assert_eq!(profiles.len(), cfg.core.cores, "one profile per core");
+        let mut sys = Self::build(cfg, profiles, seed);
+        let cores = cfg.core.cores as u64;
+        if cfg.warmup_instructions_per_core > 0 {
+            sys.run_until(cores * cfg.warmup_instructions_per_core);
+        }
+        sys.reset_stats();
+        let measured_base: u64 = sys.cores.iter().map(|c| c.retired).sum();
+        sys.run_until(measured_base + cores * cfg.instructions_per_core);
+        sys.report_measured(name, measured_base)
+    }
+
+    fn build(cfg: &SimConfig, profiles: &[Profile], seed: u64) -> Self {
+        let backend = MemoryBackend::new(profiles, seed);
+        let mapping = AddressMapping::new(cfg.dram);
+        let copr_cfg = cfg
+            .copr
+            .unwrap_or_else(|| CoprConfig::paper_default(backend.occupied_lines().max(1)));
+        let strategy = Strategy::with_cid_bits(
+            cfg.strategy,
+            mapping,
+            cfg.metadata_cache,
+            copr_cfg,
+            seed,
+            cfg.cid_bits,
+        );
+        let cores = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Core::new(
+                    i,
+                    TraceGenerator::new(p, seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9)),
+                    backend.core_base(i),
+                )
+            })
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            cores,
+            llc: attache_cache::Llc::new(cfg.llc),
+            mem: MemorySystem::new(cfg.dram, cfg.power),
+            strategy,
+            backend,
+            txns: HashMap::new(),
+            txn_by_req: HashMap::new(),
+            pending_lines: HashMap::new(),
+            retry_q: VecDeque::new(),
+            delayed: Vec::new(),
+            next_txn: 0,
+            next_req: 0,
+            cpu_accum: 0,
+        }
+    }
+
+    fn run_until(&mut self, total_target: u64) {
+        let mut guard: u64 = 0;
+        while self.cores.iter().map(|c| c.retired).sum::<u64>() < total_target {
+            self.bus_tick();
+            guard += 1;
+            assert!(
+                guard < 20_000_000_000,
+                "simulation failed to make progress"
+            );
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.mem.reset_stats();
+        self.llc.reset_stats();
+        self.strategy.reset_stats();
+    }
+
+    fn bus_tick(&mut self) {
+        self.mem.tick();
+        let completions = self.mem.drain_completions();
+        for c in completions {
+            self.on_completion(c);
+        }
+        self.release_delayed();
+        self.flush_retries();
+
+        self.cpu_accum += self.cfg.core.cpu_cycles_per_2_bus_cycles;
+        while self.cpu_accum >= 2 {
+            self.cpu_accum -= 2;
+            let mut cores = std::mem::take(&mut self.cores);
+            for core in &mut cores {
+                self.cpu_cycle(core);
+            }
+            self.cores = cores;
+        }
+    }
+
+    fn cpu_cycle(&mut self, core: &mut Core) {
+        core.fill_rob(self.cfg.core.rob_size);
+
+        // Issue pass: present NeedIssue memory ops to the LLC / memory.
+        for idx in 0..core.rob.len() {
+            let Slot::Mem {
+                line,
+                is_write,
+                state,
+            } = core.rob[idx]
+            else {
+                continue;
+            };
+            if state != MemState::NeedIssue {
+                continue;
+            }
+            if let Some(new_state) = self.issue_mem_op(core, line, is_write) {
+                if let Slot::Mem { state, .. } = &mut core.rob[idx] {
+                    *state = new_state;
+                }
+            }
+        }
+
+        core.retire(self.cfg.core.issue_width);
+        core.cpu_now += 1;
+    }
+
+    /// Attempts to issue one memory operation; `None` means "stall, retry
+    /// next cycle".
+    fn issue_mem_op(&mut self, core: &mut Core, line: u64, is_write: bool) -> Option<MemState> {
+        let resident = self.llc.probe_line(line);
+        if resident {
+            if is_write {
+                self.backend.record_store(line);
+            }
+            let acc = self.llc.access_line(line, is_write);
+            debug_assert!(acc.hit);
+            // A line filled by an in-flight transaction is "resident" in
+            // the tag array; loads to it must still wait for the data.
+            if let (false, Some(&txn_id)) = (is_write, self.pending_lines.get(&line)) {
+                if let Some(txn) = self.txns.get_mut(&txn_id) {
+                    txn.waiters.push((core.id, false));
+                    return Some(MemState::WaitMem(txn_id));
+                }
+            }
+            return Some(if is_write {
+                MemState::Ready
+            } else {
+                MemState::WaitLlc(core.cpu_now + self.llc.latency())
+            });
+        }
+
+        // LLC miss: need an MSHR and memory-queue headroom.
+        if core.outstanding >= self.cfg.core.max_outstanding || self.retry_q.len() >= RETRY_CAP {
+            return None;
+        }
+        if is_write {
+            self.backend.record_store(line);
+        }
+        let acc = self.llc.access_line(line, is_write);
+        debug_assert!(!acc.hit);
+        if let Some(victim) = acc.writeback {
+            self.do_writeback(victim, core.id as u8);
+        }
+        let txn_id = self.start_read_txn(line, core.id);
+        core.outstanding += 1;
+        Some(if is_write {
+            MemState::Ready // posted store; the fetch completes in background
+        } else {
+            MemState::WaitMem(txn_id)
+        })
+    }
+
+    fn do_writeback(&mut self, victim_line: u64, core: u8) {
+        let plan = self.strategy.plan_write(victim_line, core, &self.backend);
+        self.submit_spec(plan.data, 0, None);
+        for side in plan.side {
+            self.submit_spec(side, 0, None);
+        }
+    }
+
+    fn start_read_txn(&mut self, line: u64, core: usize) -> u64 {
+        let txn_id = self.next_txn;
+        self.next_txn += 1;
+        let plan = self.strategy.plan_read(line, core as u8, &self.backend);
+        let delay = self.strategy.lookup_delay_bus_cycles();
+        for side in plan.side {
+            self.submit_spec(side, delay, None);
+        }
+        let state = match plan.meta_first {
+            Some(meta) => {
+                self.submit_spec(meta, delay, Some(txn_id));
+                TxnState::WaitMeta { data: plan.data }
+            }
+            None => {
+                self.submit_spec(plan.data, delay, Some(txn_id));
+                TxnState::WaitData
+            }
+        };
+        self.txns.insert(
+            txn_id,
+            Txn {
+                line,
+                core,
+                predicted: plan.predicted_compressed,
+                state,
+                waiters: vec![(core, true)],
+            },
+        );
+        self.pending_lines.insert(line, txn_id);
+        txn_id
+    }
+
+    fn submit_spec(&mut self, spec: ReqSpec, delay: u64, txn: Option<u64>) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        let req = MemRequest {
+            id,
+            line_addr: spec.line,
+            kind: spec.kind,
+            width: spec.width,
+            origin: spec.origin,
+            arrival: self.mem.now() + delay,
+        };
+        if let Some(t) = txn {
+            self.txn_by_req.insert(id, t);
+        }
+        if delay > 0 {
+            self.delayed.push((self.mem.now() + delay, req, txn));
+        } else {
+            self.try_submit(req);
+        }
+        id
+    }
+
+    fn try_submit(&mut self, req: MemRequest) {
+        if self.mem.enqueue(req).is_err() {
+            self.retry_q.push_back(req);
+        }
+    }
+
+    fn release_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = self.mem.now();
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, req, _) = self.delayed.swap_remove(i);
+                self.try_submit(req);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn flush_retries(&mut self) {
+        let n = self.retry_q.len();
+        for _ in 0..n {
+            let req = self.retry_q.pop_front().expect("len checked");
+            if self.mem.enqueue(req).is_err() {
+                self.retry_q.push_back(req);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, c: Completion) {
+        let Some(&txn_id) = self.txn_by_req.get(&c.request.id) else {
+            return; // untracked (writes, side traffic)
+        };
+        self.txn_by_req.remove(&c.request.id);
+        debug_assert_eq!(c.request.kind, AccessKind::Read);
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        match txn.state {
+            TxnState::WaitMeta { data } => {
+                txn.state = TxnState::WaitData;
+                self.submit_spec(data, 0, Some(txn_id));
+            }
+            TxnState::WaitData => {
+                let (line, predicted, core) = (txn.line, txn.predicted, txn.core);
+                let follow = self
+                    .strategy
+                    .on_read_data(line, predicted, core as u8, &self.backend);
+                if follow.is_empty() {
+                    self.finish_txn(txn_id);
+                } else {
+                    let n = follow.len() as u32;
+                    if let Some(t) = self.txns.get_mut(&txn_id) {
+                        t.state = TxnState::WaitFollow { remaining: n };
+                    }
+                    for f in follow {
+                        self.submit_spec(f, 0, Some(txn_id));
+                    }
+                }
+            }
+            TxnState::WaitFollow { ref mut remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.finish_txn(txn_id);
+                }
+            }
+        }
+    }
+
+    fn finish_txn(&mut self, txn_id: u64) {
+        let txn = self.txns.remove(&txn_id).expect("transaction exists");
+        if self.pending_lines.get(&txn.line) == Some(&txn_id) {
+            self.pending_lines.remove(&txn.line);
+        }
+        for (core, counted) in txn.waiters {
+            if counted {
+                self.cores[core].complete_txn(txn_id);
+            } else {
+                self.cores[core].mark_txn_ready(txn_id);
+            }
+        }
+    }
+
+    fn report_measured(&self, name: &str, measured_base: u64) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            strategy: self.cfg.strategy,
+            bus_cycles: self.mem.stats().cycles,
+            instructions: self.cores.iter().map(|c| c.retired).sum::<u64>() - measured_base,
+            mem: self.mem.stats(),
+            energy: self.mem.energy(),
+            llc: self.llc.stats(),
+            strategy_stats: self.strategy.stats(),
+            copr: self.strategy.copr_stats(),
+            blem: self.strategy.blem_stats(),
+            ra: self.strategy.ra_stats(),
+            metadata_cache: self.strategy.metadata_cache_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetadataStrategyKind;
+
+    fn quick_cfg(strategy: MetadataStrategyKind) -> SimConfig {
+        SimConfig::table2_baseline()
+            .with_strategy(strategy)
+            .with_instructions(30_000, 5_000)
+    }
+
+    #[test]
+    fn baseline_run_completes_and_reports() {
+        let r = System::run_rate_mode(&quick_cfg(MetadataStrategyKind::Baseline), Profile::stream(), 1);
+        assert!(r.total_instructions() >= 8 * 30_000);
+        assert!(r.bus_cycles > 0);
+        assert!(r.ipc() > 0.0);
+        assert!(r.mem.demand_reads > 0, "stream misses the LLC");
+        assert_eq!(r.mem.metadata_reads, 0, "baseline has no metadata");
+        assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn attache_run_predicts_and_compresses() {
+        let r = System::run_rate_mode(&quick_cfg(MetadataStrategyKind::Attache), Profile::stream(), 1);
+        let copr = r.copr.expect("attache reports copr");
+        assert!(copr.predictions > 0);
+        assert!(copr.accuracy() > 0.5, "accuracy {}", copr.accuracy());
+        assert!(r.compressed_read_fraction() > 0.3);
+        assert_eq!(r.mem.metadata_reads, 0, "attache never reads metadata");
+    }
+
+    #[test]
+    fn metadata_cache_run_generates_installs() {
+        let r = System::run_rate_mode(
+            &quick_cfg(MetadataStrategyKind::MetadataCache),
+            Profile::rand(),
+            1,
+        );
+        assert!(r.mem.metadata_reads > 0, "random traffic misses the metadata cache");
+        let (stats, traffic) = r.metadata_cache.expect("reports metadata cache");
+        assert!(stats.accesses > 0);
+        assert!(traffic.install_reads > 0);
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        let cfg = quick_cfg(MetadataStrategyKind::Attache);
+        let a = System::run_rate_mode(&cfg, Profile::stream(), 7);
+        let b = System::run_rate_mode(&cfg, Profile::stream(), 7);
+        assert_eq!(a.bus_cycles, b.bus_cycles);
+        assert_eq!(a.mem.demand_reads, b.mem.demand_reads);
+        let c = System::run_rate_mode(&cfg, Profile::stream(), 8);
+        assert_ne!(a.bus_cycles, c.bus_cycles);
+    }
+
+    #[test]
+    fn oracle_beats_baseline_on_compressible_stream() {
+        let base = System::run_rate_mode(&quick_cfg(MetadataStrategyKind::Baseline), Profile::stream(), 3);
+        let ideal = System::run_rate_mode(&quick_cfg(MetadataStrategyKind::Oracle), Profile::stream(), 3);
+        let speedup = ideal.speedup_vs(&base);
+        assert!(
+            speedup > 1.02,
+            "ideal compression should beat baseline, got {speedup:.3}"
+        );
+    }
+
+    #[test]
+    fn mix_runs_one_profile_per_core() {
+        let mix = attache_workloads::mixes().remove(0);
+        let cfg = quick_cfg(MetadataStrategyKind::Attache).with_instructions(10_000, 2_000);
+        let r = System::run_mix(&cfg, &mix, 5);
+        assert!(r.total_instructions() >= 8 * 10_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic workload generators for the Attaché reproduction.
+//!
+//! The paper evaluates on memory-intensive SPEC2006 and GAP benchmarks
+//! traced with a Pintool (§V). This crate replaces those traces with
+//! calibrated synthetic generators: each [`Profile`] specifies the
+//! observable characteristics Attaché's behaviour depends on — line
+//! compressibility and its page-level clustering ([`data`]), the
+//! address-stream shape ([`access`]), memory intensity and store ratio —
+//! and [`trace`] turns a profile into the instruction-annotated access
+//! stream the core model consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use attache_workloads::{Profile, TraceGenerator, DataSynthesizer};
+//!
+//! let profile = Profile::stream();
+//! let mut gen = TraceGenerator::new(&profile, 42);
+//! let event = gen.next_event();
+//! assert!(event.line_offset < profile.footprint_lines);
+//!
+//! // Contents for any line are synthesized deterministically on demand.
+//! let synth = DataSynthesizer::new(42);
+//! let block = synth.block_for(&profile.data, event.line_offset);
+//! assert_eq!(block.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod data;
+pub mod profiles;
+pub mod trace;
+
+pub use access::{AccessGen, AccessPattern};
+pub use data::{DataProfile, DataSynthesizer};
+pub use profiles::{all_rate_profiles, mixes, Category, MixWorkload, Profile, Suite};
+pub use trace::{TraceEvent, TraceGenerator};

@@ -1,0 +1,54 @@
+//! Quickstart: compare Attaché against the no-compression baseline on a
+//! streaming workload.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use attache::sim::{MetadataStrategyKind, SimConfig, System};
+use attache::workloads::Profile;
+
+fn main() {
+    // The paper's Table II system, at a laptop-scale run length.
+    let base_cfg = SimConfig::table2_baseline().with_instructions(200_000, 40_000);
+    let profile = Profile::stream();
+
+    println!("workload: {} (8 cores, rate mode)", profile.name);
+    println!("running baseline (no compression)...");
+    let baseline = System::run_rate_mode(&base_cfg, profile.clone(), 42);
+
+    println!("running Attaché (BLEM + COPR over sub-ranked DDR4)...");
+    let attache_cfg = base_cfg.with_strategy(MetadataStrategyKind::Attache);
+    let attache = System::run_rate_mode(&attache_cfg, profile, 42);
+
+    println!();
+    println!(
+        "baseline : {:>12} bus cycles, IPC {:.3}, avg read latency {:>6.1} ns",
+        baseline.bus_cycles,
+        baseline.ipc(),
+        baseline.avg_read_latency_ns()
+    );
+    println!(
+        "attache  : {:>12} bus cycles, IPC {:.3}, avg read latency {:>6.1} ns",
+        attache.bus_cycles,
+        attache.ipc(),
+        attache.avg_read_latency_ns()
+    );
+    println!();
+    println!("speedup          : {:.3}x", attache.speedup_vs(&baseline));
+    println!(
+        "energy           : {:.1}% of baseline",
+        100.0 * attache.energy_ratio_vs(&baseline)
+    );
+    let copr = attache.copr.expect("attache run reports COPR stats");
+    println!("COPR accuracy    : {:.1}%", 100.0 * copr.accuracy());
+    println!(
+        "compressed reads : {:.1}%",
+        100.0 * attache.compressed_read_fraction()
+    );
+    println!(
+        "metadata traffic : {:.3}% of demand (BLEM goal: ~0%)",
+        100.0 * attache.metadata_traffic_overhead()
+    );
+}

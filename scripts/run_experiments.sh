@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the Attaché paper and stores the
+# console output under results/figures/.
+#
+# The 22-workload x 4-strategy timing sweep runs once (cached under
+# results/); expect ~20-40 minutes on first run. Set ATTACHE_QUICK=1 for a
+# fast smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p attache-bench
+outdir=results/figures
+mkdir -p "$outdir"
+
+for bin in table1_cid_sizes fig01_metadata_overhead fig04_compressibility \
+           fig05_metacache_hitrate fig08_cid_collision fig11_copr_accuracy \
+           fig12_speedup fig13_energy fig14_bandwidth_latency \
+           fig15_metacache_traffic fig16_replacement_policies \
+           fig17_copr_ablation ablation_cid_width; do
+    echo "=== $bin ==="
+    ./target/release/$bin | tee "$outdir/$bin.txt"
+    echo
+done
+echo "All experiment outputs stored in $outdir/"

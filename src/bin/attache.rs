@@ -1,0 +1,218 @@
+//! The `attache` command-line interface: run the simulator without writing
+//! any code.
+//!
+//! ```text
+//! attache list
+//! attache run     --workload mcf --strategy attache [--instructions N] [--warmup N] [--seed S]
+//! attache compare --workload mcf [--instructions N] [--warmup N] [--seed S]
+//! ```
+
+use attache::sim::{MetadataStrategyKind, RunReport, SimConfig, System};
+use attache::workloads::{all_rate_profiles, mixes, Profile};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+attache — metadata-free main-memory compression simulator (MICRO 2018 reproduction)
+
+USAGE:
+    attache list
+        List the available workloads (20 rate-mode benchmarks + 2 mixes).
+
+    attache run --workload <NAME> --strategy <baseline|metadata-cache|attache|ideal>
+                [--instructions <N>] [--warmup <N>] [--seed <S>] [--cid-bits <B>]
+        Run one workload under one metadata strategy and print the report.
+
+    attache compare --workload <NAME> [--instructions <N>] [--warmup <N>] [--seed <S>]
+        Run all four strategies on one workload and print a comparison table.
+";
+
+#[derive(Debug)]
+struct Args {
+    workload: Option<String>,
+    strategy: Option<String>,
+    instructions: u64,
+    warmup: u64,
+    seed: u64,
+    cid_bits: u8,
+}
+
+fn parse_flags(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        workload: None,
+        strategy: None,
+        instructions: 200_000,
+        warmup: 40_000,
+        seed: 42,
+        cid_bits: 14,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--workload" => out.workload = Some(value.clone()),
+            "--strategy" => out.strategy = Some(value.clone()),
+            "--instructions" => {
+                out.instructions = value.parse().map_err(|_| format!("bad count {value}"))?
+            }
+            "--warmup" => out.warmup = value.parse().map_err(|_| format!("bad count {value}"))?,
+            "--seed" => out.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--cid-bits" => {
+                out.cid_bits = value.parse().map_err(|_| format!("bad width {value}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn parse_strategy(name: &str) -> Result<MetadataStrategyKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "baseline" => MetadataStrategyKind::Baseline,
+        "metadata-cache" | "metadatacache" | "mc" => MetadataStrategyKind::MetadataCache,
+        "attache" => MetadataStrategyKind::Attache,
+        "ideal" | "oracle" => MetadataStrategyKind::Oracle,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn run_workload(name: &str, cfg: &SimConfig, seed: u64) -> Result<RunReport, String> {
+    if let Some(p) = Profile::by_name(name) {
+        return Ok(System::run_rate_mode(cfg, p, seed));
+    }
+    if let Some(m) = mixes().into_iter().find(|m| m.name == name) {
+        return Ok(System::run_mix(cfg, &m, seed));
+    }
+    Err(format!("unknown workload '{name}' (try `attache list`)"))
+}
+
+fn cmd_list() {
+    println!("rate-mode workloads (8 cores run copies of the same profile):");
+    for p in all_rate_profiles() {
+        println!(
+            "  {:<12} {:?}-like, ~{:.0}% compressible, footprint {} MiB/core",
+            p.name,
+            p.suite,
+            100.0 * p.data.expected_compressible(),
+            p.footprint_lines * 64 / (1 << 20),
+        );
+    }
+    println!("mixed workloads (one profile per core):");
+    for m in mixes() {
+        let members: Vec<&str> = m.cores.iter().map(|c| c.name).collect();
+        println!("  {:<12} {}", m.name, members.join(", "));
+    }
+}
+
+fn print_report(r: &RunReport) {
+    println!("workload          : {}", r.name);
+    println!("strategy          : {}", r.strategy);
+    println!("instructions      : {}", r.total_instructions());
+    println!("bus cycles        : {}", r.bus_cycles);
+    println!("IPC (aggregate)   : {:.3}", r.ipc());
+    println!("avg read latency  : {:.1} ns", r.avg_read_latency_ns());
+    println!("bandwidth         : {:.2} GB/s", r.bandwidth_gbps());
+    println!("DRAM energy       : {:.2} mJ", r.energy.total_mj());
+    println!(
+        "compressed reads  : {:.1}%",
+        100.0 * r.compressed_read_fraction()
+    );
+    println!(
+        "metadata overhead : {:.2}% of demand requests",
+        100.0 * r.metadata_traffic_overhead()
+    );
+    if let Some(copr) = r.copr {
+        println!("COPR accuracy     : {:.1}%", 100.0 * copr.accuracy());
+    }
+    if let Some((stats, traffic)) = &r.metadata_cache {
+        println!(
+            "metadata cache    : {:.1}% hit rate, {} installs, {} eviction writes",
+            100.0 * stats.hit_rate(),
+            traffic.install_reads,
+            traffic.eviction_writes
+        );
+    }
+    if let Some(ra) = r.ra {
+        println!(
+            "replacement area  : {} reads, {} writes",
+            ra.reads, ra.writes
+        );
+    }
+}
+
+fn cmd_run(flags: Args) -> Result<(), String> {
+    let workload = flags.workload.as_deref().ok_or("missing --workload")?;
+    let strategy = parse_strategy(flags.strategy.as_deref().ok_or("missing --strategy")?)?;
+    let mut cfg = SimConfig::table2_baseline()
+        .with_strategy(strategy)
+        .with_instructions(flags.instructions, flags.warmup);
+    cfg.cid_bits = flags.cid_bits;
+    let report = run_workload(workload, &cfg, flags.seed)?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_compare(flags: Args) -> Result<(), String> {
+    let workload = flags.workload.as_deref().ok_or("missing --workload")?;
+    let mut reports = Vec::new();
+    for strategy in [
+        MetadataStrategyKind::Baseline,
+        MetadataStrategyKind::MetadataCache,
+        MetadataStrategyKind::Attache,
+        MetadataStrategyKind::Oracle,
+    ] {
+        let cfg = SimConfig::table2_baseline()
+            .with_strategy(strategy)
+            .with_instructions(flags.instructions, flags.warmup);
+        eprintln!("running {strategy}...");
+        reports.push(run_workload(workload, &cfg, flags.seed)?);
+    }
+    let base = reports[0].clone();
+    println!(
+        "{:<15} {:>9} {:>9} {:>12} {:>12}",
+        "strategy", "speedup", "energy", "read-latency", "meta-traffic"
+    );
+    for r in &reports {
+        println!(
+            "{:<15} {:>8.3}x {:>8.1}% {:>10.1}ns {:>11.2}%",
+            r.strategy.to_string(),
+            r.speedup_vs(&base),
+            100.0 * r.energy_ratio_vs(&base),
+            r.avg_read_latency_ns(),
+            100.0 * r.metadata_traffic_overhead()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => parse_flags(&argv[1..]).and_then(cmd_run),
+        "compare" => parse_flags(&argv[1..]).and_then(cmd_compare),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # Attaché — metadata-free main-memory compression
+//!
+//! A from-scratch Rust reproduction of *"Attaché: Towards Ideal Memory
+//! Compression by Mitigating Metadata Bandwidth Overheads"* (MICRO 2018),
+//! including every substrate the paper depends on: BDI/FPC compression, a
+//! cycle-level sub-ranked DDR4 memory simulator, a trace-driven out-of-order
+//! core model, a Metadata-Cache baseline, and the Attaché BLEM + COPR
+//! mechanisms themselves.
+//!
+//! This facade crate re-exports the individual crates under stable names:
+//!
+//! * [`compress`] — BDI, FPC and the composite engine.
+//! * [`cache`] — set-associative caches and replacement policies (LRU,
+//!   DRRIP, SHiP, ...), the shared LLC and the Metadata-Cache.
+//! * [`dram`] — the cycle-level DDR4 channel model with Sub-Ranking.
+//! * [`core`] — BLEM (CID/XID blended metadata), COPR (GI/PaPR/LiPR
+//!   predictors), the scrambler and the Replacement Area.
+//! * [`workloads`] — synthetic SPEC/GAP-like workload and data generators.
+//! * [`sim`] — the full-system simulator tying everything together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use attache::sim::{SimConfig, System, MetadataStrategyKind};
+//! use attache::workloads::Profile;
+//!
+//! // A small single-workload run comparing Attaché to the baseline.
+//! let mut cfg = SimConfig::table2_baseline();
+//! cfg.instructions_per_core = 20_000;
+//! cfg.strategy = MetadataStrategyKind::Attache;
+//! let report = System::run_rate_mode(&cfg, Profile::stream(), 42);
+//! assert!(report.total_instructions() > 0);
+//! ```
+
+pub use attache_cache as cache;
+pub use attache_compress as compress;
+pub use attache_core as core;
+pub use attache_dram as dram;
+pub use attache_sim as sim;
+pub use attache_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Cross-crate invariants of the four metadata strategies, checked on real
+//! end-to-end runs.
+
+use attache::sim::{MetadataStrategyKind, SimConfig, System};
+use attache::workloads::Profile;
+
+fn run(strategy: MetadataStrategyKind, profile: Profile, seed: u64) -> attache::sim::RunReport {
+    let cfg = SimConfig::table2_baseline()
+        .with_strategy(strategy)
+        .with_instructions(40_000, 8_000);
+    System::run_rate_mode(&cfg, profile, seed)
+}
+
+#[test]
+fn baseline_never_touches_metadata_or_compression() {
+    let r = run(MetadataStrategyKind::Baseline, Profile::stream(), 5);
+    assert_eq!(r.mem.metadata_reads, 0);
+    assert_eq!(r.mem.metadata_writes, 0);
+    assert_eq!(r.mem.replacement_area_reads, 0);
+    assert_eq!(r.mem.replacement_area_writes, 0);
+    assert_eq!(r.mem.corrective_reads, 0);
+    assert_eq!(r.strategy_stats.compressed_reads, 0);
+    assert!(r.copr.is_none());
+    assert!(r.blem.is_none());
+    assert!(r.metadata_cache.is_none());
+}
+
+#[test]
+fn attache_generates_no_metadata_requests() {
+    // The whole point of BLEM: zero install/eviction traffic; only the
+    // (rare) Replacement Area and corrective fetches remain.
+    let r = run(MetadataStrategyKind::Attache, Profile::stream(), 5);
+    assert_eq!(r.mem.metadata_reads, 0);
+    assert_eq!(r.mem.metadata_writes, 0);
+    assert!(r.copr.is_some());
+    let copr = r.copr.unwrap();
+    assert_eq!(
+        copr.predictions,
+        copr.correct + copr.underpredictions + copr.overpredictions
+    );
+    // Every overprediction costs exactly one corrective read.
+    assert_eq!(r.mem.corrective_reads, copr.overpredictions);
+}
+
+#[test]
+fn metadata_cache_misses_produce_install_reads() {
+    let r = run(MetadataStrategyKind::MetadataCache, Profile::rand(), 5);
+    let (stats, traffic) = r.metadata_cache.expect("metadata cache stats");
+    assert!(stats.accesses > 0);
+    assert_eq!(traffic.install_reads, stats.misses);
+    // The DRAM-side counter sees the same installs, modulo requests in
+    // flight across the warm-up boundary and the end of the run.
+    let dram = r.mem.metadata_reads as f64;
+    let issued = traffic.install_reads as f64;
+    assert!(issued > 0.0);
+    assert!(
+        (dram - issued).abs() <= issued * 0.05 + 32.0,
+        "dram-side installs {dram} vs issued {issued}"
+    );
+}
+
+#[test]
+fn oracle_is_at_least_as_fast_as_attache_and_metadata_cache() {
+    for profile in [Profile::stream(), Profile::by_name("bc.kron").unwrap()] {
+        let ideal = run(MetadataStrategyKind::Oracle, profile.clone(), 9);
+        let attache = run(MetadataStrategyKind::Attache, profile.clone(), 9);
+        let mc = run(MetadataStrategyKind::MetadataCache, profile.clone(), 9);
+        // Allow a small tolerance: scheduling noise can locally favour a
+        // non-ideal scheme.
+        assert!(
+            ideal.bus_cycles as f64 <= attache.bus_cycles as f64 * 1.05,
+            "{}: ideal {} vs attache {}",
+            profile.name,
+            ideal.bus_cycles,
+            attache.bus_cycles
+        );
+        assert!(
+            ideal.bus_cycles as f64 <= mc.bus_cycles as f64 * 1.05,
+            "{}: ideal {} vs metadata-cache {}",
+            profile.name,
+            ideal.bus_cycles,
+            mc.bus_cycles
+        );
+    }
+}
+
+#[test]
+fn incompressible_rand_defeats_compression_but_not_attache() {
+    let base = run(MetadataStrategyKind::Baseline, Profile::rand(), 4);
+    let attache = run(MetadataStrategyKind::Attache, Profile::rand(), 4);
+    // Nothing compresses...
+    assert_eq!(attache.strategy_stats.compressed_reads, 0);
+    // ...and Attaché stays within a few percent of the baseline (the
+    // paper's robustness claim), while the predictor is near-perfect.
+    let slowdown = base.speedup_vs(&attache);
+    assert!(
+        slowdown < 1.10,
+        "attache must not slow RAND meaningfully, got {slowdown:.3}x"
+    );
+    assert!(attache.copr.unwrap().accuracy() > 0.95);
+}
+
+#[test]
+fn compressed_fraction_tracks_fig4_targets() {
+    for (name, target) in [("lbm", 0.75), ("milc", 0.40), ("libquantum", 0.06)] {
+        let r = run(
+            MetadataStrategyKind::Oracle,
+            Profile::by_name(name).unwrap(),
+            6,
+        );
+        let measured = r.compressed_read_fraction();
+        assert!(
+            (measured - target).abs() < 0.10,
+            "{name}: measured {measured:.2} vs Fig.4 target {target:.2}"
+        );
+    }
+}

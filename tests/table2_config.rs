@@ -1,0 +1,55 @@
+//! Integration check: the default simulator configuration reproduces the
+//! paper's Table II ("Baseline System Configuration") exactly.
+
+use attache::dram::Timing;
+use attache::sim::SimConfig;
+
+#[test]
+fn table2_baseline_system_configuration() {
+    let cfg = SimConfig::table2_baseline();
+
+    // Number of cores (OoO): 8, issue width 4, 4 GHz.
+    assert_eq!(cfg.core.cores, 8);
+    assert_eq!(cfg.core.issue_width, 4);
+    // 4 GHz over a 1600 MHz bus = 2.5 CPU cycles per bus cycle.
+    assert_eq!(cfg.core.cpu_cycles_per_2_bus_cycles, 5);
+
+    // Last Level Cache (shared): 8MB, 8-way, 64-byte lines, 20 cycles.
+    assert_eq!(cfg.llc.size_bytes, 8 << 20);
+    assert_eq!(cfg.llc.ways, 8);
+    assert_eq!(cfg.llc.line_bytes, 64);
+    assert_eq!(cfg.llc.latency_cycles, 20);
+
+    // Memory: 2 channels, 1 rank, 4 bank groups x 4 banks, 64K rows,
+    // 128 blocks (64B) per row.
+    assert_eq!(cfg.dram.channels, 2);
+    assert_eq!(cfg.dram.ranks, 1);
+    assert_eq!(cfg.dram.bank_groups, 4);
+    assert_eq!(cfg.dram.banks_per_group, 4);
+    assert_eq!(cfg.dram.rows, 64 * 1024);
+    assert_eq!(cfg.dram.blocks_per_row, 128);
+
+    // DRAM access timings: tRCD-tRP-tCAS = 22-22-22.
+    assert_eq!(cfg.dram.timing.t_rcd, 22);
+    assert_eq!(cfg.dram.timing.t_rp, 22);
+    assert_eq!(cfg.dram.timing.t_cas, 22);
+
+    // Refresh: tRFC = 350ns, tREFI = 7.8µs at a 0.625ns bus cycle.
+    assert_eq!(cfg.dram.timing.t_rfc, 560);
+    assert_eq!(cfg.dram.timing.t_refi, 12_480);
+
+    // The memory totals 16GB.
+    assert_eq!(cfg.dram.capacity_bytes(), 16 << 30);
+
+    // Two sub-ranks per rank (two chip-select groups of 4 chips).
+    assert_eq!(cfg.dram.subranks, 2);
+}
+
+#[test]
+fn timing_constants_are_self_consistent() {
+    let t = Timing::table2();
+    assert!(t.t_ras >= t.t_rcd, "a row must be open long enough to read");
+    assert_eq!(t.t_rc, t.t_ras + t.t_rp);
+    assert!(t.t_faw >= 4 * t.t_rrd / 2, "tFAW must bind beyond tRRD");
+    assert!(t.t_cwl <= t.t_cas);
+}
