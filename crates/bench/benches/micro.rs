@@ -1,7 +1,11 @@
-//! Criterion micro-benchmarks for the performance-critical components:
-//! the compression engines (the paper assumes single-cycle hardware — the
+//! Micro-benchmarks for the performance-critical components: the
+//! compression engines (the paper assumes single-cycle hardware — the
 //! software model must at least be cheap), the COPR predictor, the
 //! Metadata-Cache, the scrambler, BLEM, and the DRAM channel scheduler.
+//!
+//! Hand-rolled harness (`harness = false`): each benchmark is timed over a
+//! fixed iteration count after a warm-up pass, and reported as ns/iter.
+//! Run with `cargo bench -p attache-bench`.
 
 use attache_cache::{MetadataCache, MetadataCacheConfig};
 use attache_compress::{bdi::Bdi, fpc::Fpc, Block, CompressionEngine, Compressor};
@@ -11,7 +15,25 @@ use attache_core::scramble::Scrambler;
 use attache_dram::{
     AccessKind, AccessWidth, DramConfig, MemRequest, MemorySystem, Origin, PowerParams, SubrankId,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after `iters / 10` warm-up calls)
+/// and prints ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = t.elapsed();
+    println!(
+        "{name:<32} {:>12.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
+}
 
 fn sample_blocks() -> Vec<Block> {
     let mut blocks = Vec::new();
@@ -38,142 +60,121 @@ fn sample_blocks() -> Vec<Block> {
     blocks
 }
 
-fn bench_compression(c: &mut Criterion) {
+fn bench_compression() {
     let blocks = sample_blocks();
     let bdi = Bdi::new();
     let fpc = Fpc::new();
     let engine = CompressionEngine::new();
-    c.bench_function("bdi_compress_4blocks", |b| {
-        b.iter(|| {
-            for blk in &blocks {
-                black_box(bdi.compress(black_box(blk)));
-            }
-        })
+    bench("bdi_compress_4blocks", 100_000, || {
+        for blk in &blocks {
+            black_box(bdi.compress(black_box(blk)));
+        }
     });
-    c.bench_function("fpc_compress_4blocks", |b| {
-        b.iter(|| {
-            for blk in &blocks {
-                black_box(fpc.compress(black_box(blk)));
-            }
-        })
+    bench("fpc_compress_4blocks", 100_000, || {
+        for blk in &blocks {
+            black_box(fpc.compress(black_box(blk)));
+        }
     });
-    c.bench_function("engine_best_of_4blocks", |b| {
-        b.iter(|| {
-            for blk in &blocks {
-                black_box(engine.compress(black_box(blk)));
-            }
-        })
+    bench("engine_best_of_4blocks", 100_000, || {
+        for blk in &blocks {
+            black_box(engine.compress(black_box(blk)));
+        }
     });
     let images: Vec<_> = blocks.iter().map(|b| engine.compress(b)).collect();
-    c.bench_function("engine_decompress_4blocks", |b| {
-        b.iter(|| {
-            for img in &images {
-                black_box(engine.decompress(black_box(img)));
-            }
-        })
+    bench("engine_decompress_4blocks", 100_000, || {
+        for img in &images {
+            black_box(engine.decompress(black_box(img)));
+        }
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
+fn bench_predictor() {
     let mut copr = Copr::new(CoprConfig::paper_default(1 << 24));
     for i in 0..100_000u64 {
         copr.train(i % 50_000, i % 3 != 0);
     }
-    c.bench_function("copr_predict", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(977);
-            black_box(copr.predict(black_box(i % 60_000)))
-        })
+    let mut i = 0u64;
+    bench("copr_predict", 1_000_000, || {
+        i = i.wrapping_add(977);
+        black_box(copr.predict(black_box(i % 60_000)));
     });
-    c.bench_function("copr_train", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(977);
-            copr.train(black_box(i % 60_000), !i.is_multiple_of(3));
-        })
+    let mut j = 0u64;
+    bench("copr_train", 1_000_000, || {
+        j = j.wrapping_add(977);
+        copr.train(black_box(j % 60_000), !j.is_multiple_of(3));
     });
 }
 
-fn bench_metadata_cache(c: &mut Criterion) {
+fn bench_metadata_cache() {
     let mut mc = MetadataCache::new(MetadataCacheConfig::paper_1mb());
-    c.bench_function("metadata_cache_lookup", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(12_345);
-            black_box(mc.lookup(black_box(i % (1 << 22))))
-        })
+    let mut i = 0u64;
+    bench("metadata_cache_lookup", 1_000_000, || {
+        i = i.wrapping_add(12_345);
+        black_box(mc.lookup(black_box(i % (1 << 22))));
     });
 }
 
-fn bench_blem_and_scrambler(c: &mut Criterion) {
+fn bench_blem_and_scrambler() {
     let blocks = sample_blocks();
     let scrambler = Scrambler::new(7);
-    c.bench_function("scramble_block", |b| {
-        b.iter(|| black_box(scrambler.scramble(black_box(42), black_box(&blocks[2]))))
+    bench("scramble_block", 500_000, || {
+        black_box(scrambler.scramble(black_box(42), black_box(&blocks[2])));
     });
     let mut blem = Blem::new(7);
-    c.bench_function("blem_write_line_4blocks", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            for blk in &blocks {
-                addr = addr.wrapping_add(1);
-                black_box(blem.write_line(addr, blk));
-            }
-        })
+    let mut addr = 0u64;
+    bench("blem_write_line_4blocks", 50_000, || {
+        for blk in &blocks {
+            addr = addr.wrapping_add(1);
+            black_box(blem.write_line(addr, blk));
+        }
     });
-    c.bench_function("blem_probe_line", |b| {
-        b.iter(|| black_box(blem.probe_line(black_box(5), black_box(&blocks[3]))))
+    bench("blem_probe_line", 500_000, || {
+        black_box(blem.probe_line(black_box(5), black_box(&blocks[3])));
     });
 }
 
-fn bench_dram_channel(c: &mut Criterion) {
-    c.bench_function("dram_channel_1k_random_reads", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
-            let mut state = 0x2545_F491u64;
-            let mut issued = 0u64;
-            let mut done = 0usize;
-            while done < 1_000 {
-                while issued < 1_000 {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    let line = state % (1 << 22);
-                    let width = if state & 1 == 0 {
-                        AccessWidth::Full
-                    } else {
-                        AccessWidth::Half(SubrankId(((state >> 1) & 1) as u8))
-                    };
-                    let req = MemRequest {
-                        id: issued,
-                        line_addr: line,
-                        kind: AccessKind::Read,
-                        width,
-                        origin: Origin::Demand { core: 0 },
-                        arrival: mem.now(),
-                    };
-                    if mem.enqueue(req).is_err() {
-                        break;
-                    }
-                    issued += 1;
+fn bench_dram_channel() {
+    bench("dram_channel_1k_random_reads", 200, || {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        let mut state = 0x2545_F491u64;
+        let mut issued = 0u64;
+        let mut done = 0usize;
+        while done < 1_000 {
+            while issued < 1_000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let line = state % (1 << 22);
+                let width = if state & 1 == 0 {
+                    AccessWidth::Full
+                } else {
+                    AccessWidth::Half(SubrankId(((state >> 1) & 1) as u8))
+                };
+                let req = MemRequest {
+                    id: issued,
+                    line_addr: line,
+                    kind: AccessKind::Read,
+                    width,
+                    origin: Origin::Demand { core: 0 },
+                    arrival: mem.now(),
+                };
+                if mem.enqueue(req).is_err() {
+                    break;
                 }
-                mem.tick();
-                done += mem.drain_completions().len();
+                issued += 1;
             }
-            black_box(mem.stats())
-        })
+            mem.tick();
+            done += mem.drain_completions().len();
+        }
+        black_box(mem.stats());
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_compression,
-        bench_predictor,
-        bench_metadata_cache,
-        bench_blem_and_scrambler,
-        bench_dram_channel
-);
-criterion_main!(micro);
+fn main() {
+    println!("attache micro-benchmarks (hand-rolled harness, ns/iter)");
+    bench_compression();
+    bench_predictor();
+    bench_metadata_cache();
+    bench_blem_and_scrambler();
+    bench_dram_channel();
+}

@@ -8,29 +8,35 @@
 //! short, which is exactly the paper's argument for why a 15-bit CID
 //! "removes almost all Metadata bandwidth overheads".
 
-use attache_bench::ExperimentConfig;
-use attache_sim::{MetadataStrategyKind, System};
-use attache_workloads::Profile;
+use attache_bench::{ExperimentConfig, Grid, JobSpec, WorkloadRef};
+use attache_sim::MetadataStrategyKind;
+
+const CID_WIDTHS: [u8; 5] = [6, 8, 10, 12, 14];
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+
     // RAND maximizes uncompressed traffic, i.e. collision opportunity.
-    let profile = Profile::rand();
+    // A shorter run suffices: RA traffic scales linearly.
+    let mut grid = Grid::new();
+    for cid_bits in CID_WIDTHS {
+        let mut job = JobSpec::new(
+            WorkloadRef::Rate("RAND".into()),
+            MetadataStrategyKind::Attache,
+        );
+        job.overrides.cid_bits = Some(cid_bits);
+        job.overrides.instructions = Some((cfg.instructions / 4).max(20_000));
+        job.overrides.warmup = Some((cfg.warmup / 4).max(4_000));
+        grid.push(job);
+    }
+    let reports = grid.run(&cfg);
 
     println!("CID-width ablation on RAND (all lines uncompressed)");
     println!(
         "{:>9} {:>12} {:>10} {:>10} {:>12}",
         "cid bits", "collision-p", "RA reads", "RA writes", "bus cycles"
     );
-    for cid_bits in [6u8, 8, 10, 12, 14] {
-        let mut sim_cfg = cfg
-            .sim_config()
-            .with_strategy(MetadataStrategyKind::Attache);
-        sim_cfg.cid_bits = cid_bits;
-        // A shorter run suffices: RA traffic scales linearly.
-        sim_cfg.instructions_per_core = (cfg.instructions / 4).max(20_000);
-        sim_cfg.warmup_instructions_per_core = (cfg.warmup / 4).max(4_000);
-        let r = System::run_rate_mode(&sim_cfg, profile.clone(), cfg.seed);
+    for (cid_bits, r) in CID_WIDTHS.iter().zip(&reports) {
         println!(
             "{:>9} {:>11.3}% {:>10} {:>10} {:>12}",
             cid_bits,

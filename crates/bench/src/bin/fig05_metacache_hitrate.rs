@@ -9,21 +9,22 @@
 //! the whole sweep run in seconds; the speedup column comes from the
 //! cached timing sweep.
 
-use attache_bench::{geo_mean, ExperimentConfig, ResultSet};
+use attache_bench::{geo_mean, parallel_map, ExperimentConfig, ResultSet};
 use attache_cache::{Llc, LlcConfig, MetadataCache, MetadataCacheConfig};
 use attache_sim::MetadataStrategyKind;
 use attache_workloads::{all_rate_profiles, TraceGenerator};
 
 /// Functional hit-rate measurement for one cache size across the catalog.
-fn hit_rate_at(size_bytes: usize, accesses_per_workload: u64, seed: u64) -> f64 {
-    let mut rates = Vec::new();
-    for profile in all_rate_profiles() {
+/// Each workload is independent, so the catalog fans out across workers.
+fn hit_rate_at(size_bytes: usize, accesses_per_workload: u64, seed: u64, workers: usize) -> f64 {
+    let profiles = all_rate_profiles();
+    let rates = parallel_map(workers, &profiles, |_, profile| {
         let mut mc = MetadataCache::new(MetadataCacheConfig::with_size(size_bytes));
         let mut llc = Llc::new(LlcConfig::table2());
         // 8 interleaved rate-mode traces sharing the LLC, as in the
         // timing simulation.
         let mut gens: Vec<TraceGenerator> = (0..8)
-            .map(|i| TraceGenerator::new(&profile, seed ^ ((i + 1) * 0x9E37_79B9)))
+            .map(|i| TraceGenerator::new(profile, seed ^ ((i + 1) * 0x9E37_79B9)))
             .collect();
         let bases: Vec<u64> = (0..8).map(|i| i as u64 * profile.footprint_lines).collect();
         let mut served = 0;
@@ -41,8 +42,8 @@ fn hit_rate_at(size_bytes: usize, accesses_per_workload: u64, seed: u64) -> f64 
                 served += 1;
             }
         }
-        rates.push(mc.stats().hit_rate());
-    }
+        mc.stats().hit_rate()
+    });
     rates.iter().sum::<f64>() / rates.len() as f64
 }
 
@@ -54,7 +55,7 @@ fn main() {
     println!("{:>8} {:>10}", "size", "hit-rate");
     let mut one_mb_rate = 0.0;
     for size_kb in [64usize, 128, 256, 512, 1024] {
-        let rate = hit_rate_at(size_kb * 1024, accesses, cfg.seed);
+        let rate = hit_rate_at(size_kb * 1024, accesses, cfg.seed, cfg.workers());
         if size_kb == 1024 {
             one_mb_rate = rate;
         }

@@ -4,6 +4,7 @@
 //!
 //! Paper: a 15-bit CID collides about once every 32K accesses.
 
+use attache_bench::{parallel_map, ExperimentConfig};
 use attache_core::blem::Blem;
 use attache_core::header::CidConfig;
 
@@ -44,7 +45,9 @@ fn main() {
         "{:>9} {:>12} {:>12} {:>12}",
         "cid bits", "lines", "collisions", "expected"
     );
-    for (bits, n) in [(10u8, 400_000u64), (12, 400_000), (14, 800_000)] {
+    // The three CID widths are independent samples; fan out across workers.
+    let trials = [(10u8, 400_000u64), (12, 400_000), (14, 800_000)];
+    let counted = parallel_map(ExperimentConfig::from_env().workers(), &trials, |_, &(bits, n)| {
         let blem = Blem::with_config(7, CidConfig::new(bits));
         let mut collisions = 0u64;
         for i in 0..n {
@@ -54,6 +57,9 @@ fn main() {
                 collisions += 1;
             }
         }
+        collisions
+    });
+    for (&(bits, n), collisions) in trials.iter().zip(&counted) {
         let expected = n as f64 / (1u64 << bits) as f64;
         println!("{:>9} {:>12} {:>12} {:>12.1}", bits, n, collisions, expected);
     }

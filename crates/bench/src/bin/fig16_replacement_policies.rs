@@ -7,20 +7,22 @@
 //! Measured functionally (trace → LLC → metadata cache) as in the Fig. 5
 //! sweep; replacement behaviour is purely a function of the miss stream.
 
-use attache_bench::ExperimentConfig;
+use attache_bench::{parallel_map, ExperimentConfig};
 use attache_cache::{Llc, LlcConfig, MetadataCache, MetadataCacheConfig, PolicyKind};
 use attache_workloads::{all_rate_profiles, TraceGenerator};
 
-fn hit_rate(policy: PolicyKind, accesses_per_workload: u64, seed: u64) -> f64 {
-    let mut rates = Vec::new();
-    for profile in all_rate_profiles() {
+/// Average hit rate over the catalog; each workload is independent, so the
+/// catalog fans out across workers.
+fn hit_rate(policy: PolicyKind, accesses_per_workload: u64, seed: u64, workers: usize) -> f64 {
+    let profiles = all_rate_profiles();
+    let rates = parallel_map(workers, &profiles, |_, profile| {
         let mut mc = MetadataCache::new(MetadataCacheConfig {
             policy,
             ..MetadataCacheConfig::paper_1mb()
         });
         let mut llc = Llc::new(LlcConfig::table2());
         let mut gens: Vec<TraceGenerator> = (0..8)
-            .map(|i| TraceGenerator::new(&profile, seed ^ ((i + 1) * 0x9E37_79B9)))
+            .map(|i| TraceGenerator::new(profile, seed ^ ((i + 1) * 0x9E37_79B9)))
             .collect();
         let bases: Vec<u64> = (0..8).map(|i| i as u64 * profile.footprint_lines).collect();
         let mut served = 0;
@@ -38,8 +40,8 @@ fn hit_rate(policy: PolicyKind, accesses_per_workload: u64, seed: u64) -> f64 {
                 served += 1;
             }
         }
-        rates.push(mc.stats().hit_rate());
-    }
+        mc.stats().hit_rate()
+    });
     rates.iter().sum::<f64>() / rates.len() as f64
 }
 
@@ -58,7 +60,7 @@ fn main() {
         PolicyKind::Ship,
         PolicyKind::Random,
     ] {
-        let rate = hit_rate(policy, accesses, cfg.seed);
+        let rate = hit_rate(policy, accesses, cfg.seed, cfg.workers());
         match policy {
             PolicyKind::Lru => lru = rate,
             PolicyKind::Drrip | PolicyKind::Ship => best_alt = best_alt.max(rate),

@@ -4,10 +4,15 @@
 //! Paper: PaPR alone buys 11.5% speedup, adding GI reaches 15.3%, and
 //! LiPR matters mainly for the mixed workloads.
 
-use attache_bench::{geo_mean, ExperimentConfig, ResultSet};
-use attache_core::copr::CoprConfig;
-use attache_sim::{MetadataStrategyKind, System};
-use attache_workloads::{mixes, Profile};
+use attache_bench::{geo_mean, CoprVariant, ExperimentConfig, Grid, JobSpec, ResultSet, WorkloadRef};
+use attache_sim::MetadataStrategyKind;
+use attache_workloads::mixes;
+
+const VARIANTS: [(&str, CoprVariant); 3] = [
+    ("PaPR", CoprVariant::PaprOnly),
+    ("PaPR+GI", CoprVariant::PaprGi),
+    ("PaPR+GI+LiPR", CoprVariant::Full),
+];
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -15,18 +20,24 @@ fn main() {
 
     // A representative subset (full-suite ablation would triple the sweep):
     // two streaming, one pointer-chasing, one graph, plus both mixes.
-    let rate_subset = ["lbm", "STREAM", "mcf", "bc.kron"];
-    let mix_list = mixes();
+    let mut names: Vec<String> = ["lbm", "STREAM", "mcf", "bc.kron"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    names.extend(mixes().iter().map(|m| m.name.to_string()));
 
-    // GI sizing: the paper splits the occupied memory into eight regions.
-    let total_lines: u64 = Profile::by_name("lbm").unwrap().footprint_lines * 8;
-
-    #[allow(clippy::type_complexity)]
-    let variants: [(&str, fn(u64) -> CoprConfig); 3] = [
-        ("PaPR", CoprConfig::papr_only),
-        ("PaPR+GI", CoprConfig::papr_gi),
-        ("PaPR+GI+LiPR", CoprConfig::paper_default),
-    ];
+    // One Attaché job per (workload, COPR variant); the grid sizes each
+    // job's GI regions to its own occupied footprint (the paper splits the
+    // occupied memory, not a fixed budget, into eight regions).
+    let mut grid = Grid::new();
+    for name in &names {
+        for (_, variant) in VARIANTS {
+            let mut job = JobSpec::new(WorkloadRef::by_name(name), MetadataStrategyKind::Attache);
+            job.overrides.copr = Some(variant);
+            grid.push(job);
+        }
+    }
+    let reports = grid.run(&cfg);
 
     println!("Fig. 17 — speedup by COPR component (subset incl. both mixes)");
     println!(
@@ -34,32 +45,15 @@ fn main() {
         "workload", "PaPR", "PaPR+GI", "PaPR+GI+LiPR"
     );
 
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let run_one = |name: &str, variant: usize| -> f64 {
-        let make = variants[variant].1;
-        let mut sim_cfg = cfg
-            .sim_config()
-            .with_strategy(MetadataStrategyKind::Attache);
-        sim_cfg.copr = Some(make(total_lines));
-        let report = if let Some(p) = Profile::by_name(name) {
-            System::run_rate_mode(&sim_cfg, p, cfg.seed)
-        } else {
-            let mix = mix_list.iter().find(|m| m.name == name).expect("mix name");
-            System::run_mix(&sim_cfg, mix, cfg.seed)
-        };
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); VARIANTS.len()];
+    for (w, name) in names.iter().enumerate() {
         let base = set
             .get(name, MetadataStrategyKind::Baseline)
             .expect("baseline row");
-        base.bus_cycles as f64 / report.bus_cycles as f64
-    };
-
-    let mut names: Vec<&str> = rate_subset.to_vec();
-    names.extend(mix_list.iter().map(|m| m.name));
-    for name in &names {
         let mut cells = Vec::new();
-        for v in 0..3 {
-            eprintln!("[fig17] {} / {}", name, variants[v].0);
-            let s = run_one(name, v);
+        for v in 0..VARIANTS.len() {
+            let report = &reports[w * VARIANTS.len() + v];
+            let s = base.bus_cycles as f64 / report.bus_cycles as f64;
             columns[v].push(s);
             cells.push(s);
         }

@@ -1,15 +1,19 @@
-//! The cached result sweep: 20 rate-mode workloads + 2 mixes, each under
+//! The full result sweep: 20 rate-mode workloads + 2 mixes, each under
 //! all four metadata strategies.
 //!
-//! The sweep powers Figs. 1, 11, 12, 13, 14 and 15; running it once and
-//! caching to a TSV keeps the figure binaries fast and guarantees every
-//! figure reads the *same* runs.
+//! The sweep powers Figs. 1, 11, 12, 13, 14 and 15. It executes through
+//! the [`Grid`] engine, so its grid points land in the per-job report
+//! cache (`results/cache/`) and every figure binary reuses the same runs.
+//! A TSV summary is still written under `results/` as a human-readable
+//! artifact, but it is write-only: the per-job cache is the source of
+//! truth, so a stale TSV can never feed wrong numbers into a figure.
 
-use attache_sim::{MetadataStrategyKind, RunReport, System, BUS_CYCLE_NS};
+use attache_sim::{MetadataStrategyKind, RunReport, BUS_CYCLE_NS};
 use attache_workloads::{all_rate_profiles, mixes};
 use std::io::Write;
 use std::path::PathBuf;
 
+use crate::grid::{Grid, WorkloadRef};
 use crate::runner::ExperimentConfig;
 
 /// The strategies in sweep (and figure) order.
@@ -129,6 +133,7 @@ impl ResultRow {
         self.avg_read_latency * BUS_CYCLE_NS
     }
 
+    #[cfg(test)]
     const FIELDS: usize = 17;
 
     fn to_tsv(&self) -> String {
@@ -154,6 +159,9 @@ impl ResultRow {
         )
     }
 
+    /// Parses one TSV row (the inverse of `to_tsv`; exercised by tests to
+    /// keep the artifact format stable for external consumers).
+    #[cfg(test)]
     fn from_tsv(line: &str) -> Option<Self> {
         let f: Vec<&str> = line.split('\t').collect();
         if f.len() != Self::FIELDS {
@@ -198,32 +206,17 @@ impl ResultSet {
         names
     }
 
-    fn cache_path(cfg: &ExperimentConfig) -> PathBuf {
-        let dir = std::env::var("ATTACHE_RESULTS").unwrap_or_else(|_| "results".into());
-        PathBuf::from(dir).join(format!("sweep_{}.tsv", cfg.tag()))
+    fn tsv_path(cfg: &ExperimentConfig) -> PathBuf {
+        cfg.results_dir().join(format!("sweep_{}.tsv", cfg.tag()))
     }
 
-    /// Loads the sweep from the cache, or runs it (and caches) when absent.
+    /// Runs the sweep through the grid engine — pulling every grid point
+    /// already simulated from the per-job report cache — and refreshes the
+    /// TSV summary artifact.
     pub fn ensure(cfg: &ExperimentConfig) -> ResultSet {
-        let path = Self::cache_path(cfg);
-        if let Some(set) = Self::load(&path) {
-            eprintln!("[attache-bench] loaded cached sweep from {}", path.display());
-            return set;
-        }
         let set = Self::run_sweep(cfg);
-        set.save(&path);
+        set.save(&Self::tsv_path(cfg));
         set
-    }
-
-    fn load(path: &PathBuf) -> Option<ResultSet> {
-        let text = std::fs::read_to_string(path).ok()?;
-        let rows: Vec<ResultRow> = text
-            .lines()
-            .skip(1) // header
-            .filter_map(ResultRow::from_tsv)
-            .collect();
-        let expected = Self::workload_names().len() * STRATEGIES.len();
-        (rows.len() == expected).then_some(ResultSet { rows })
     }
 
     fn save(&self, path: &PathBuf) {
@@ -241,46 +234,29 @@ impl ResultSet {
             out.push('\n');
         }
         match std::fs::File::create(path).and_then(|mut f| f.write_all(out.as_bytes())) {
-            Ok(()) => eprintln!("[attache-bench] cached sweep at {}", path.display()),
-            Err(e) => eprintln!("[attache-bench] could not cache sweep: {e}"),
+            Ok(()) => eprintln!("[attache-bench] wrote sweep summary to {}", path.display()),
+            Err(e) => eprintln!("[attache-bench] could not write sweep summary: {e}"),
         }
     }
 
-    /// Runs the full sweep (22 workloads x 4 strategies).
+    /// The sweep's (workload × strategy) grid: 22 workloads × 4 strategies,
+    /// workloads-major per strategy.
+    pub fn grid() -> Grid {
+        let mut workloads: Vec<WorkloadRef> = all_rate_profiles()
+            .iter()
+            .map(|p| WorkloadRef::Rate(p.name.to_string()))
+            .collect();
+        workloads.extend(mixes().iter().map(|m| WorkloadRef::Mix(m.name.to_string())));
+        Grid::cross(&workloads, &STRATEGIES)
+    }
+
+    /// Runs the full sweep (22 workloads × 4 strategies) on the grid
+    /// engine: parallel across `cfg.workers()` threads, memoized per job.
     pub fn run_sweep(cfg: &ExperimentConfig) -> ResultSet {
-        let mut rows = Vec::new();
-        let profiles = all_rate_profiles();
-        let mix_list = mixes();
-        let total = (profiles.len() + mix_list.len()) * STRATEGIES.len();
-        let mut done = 0;
-        for strategy in STRATEGIES {
-            let sim_cfg = cfg.sim_config().with_strategy(strategy);
-            for profile in &profiles {
-                let t = std::time::Instant::now();
-                let report = System::run_rate_mode(&sim_cfg, profile.clone(), cfg.seed);
-                done += 1;
-                eprintln!(
-                    "[attache-bench] [{done}/{total}] {} / {} in {:.1}s",
-                    profile.name,
-                    strategy,
-                    t.elapsed().as_secs_f64()
-                );
-                rows.push(ResultRow::from_report(&report));
-            }
-            for mix in &mix_list {
-                let t = std::time::Instant::now();
-                let report = System::run_mix(&sim_cfg, mix, cfg.seed);
-                done += 1;
-                eprintln!(
-                    "[attache-bench] [{done}/{total}] {} / {} in {:.1}s",
-                    mix.name,
-                    strategy,
-                    t.elapsed().as_secs_f64()
-                );
-                rows.push(ResultRow::from_report(&report));
-            }
+        let reports = Self::grid().run(cfg);
+        ResultSet {
+            rows: reports.iter().map(ResultRow::from_report).collect(),
         }
-        ResultSet { rows }
     }
 
     /// All rows.

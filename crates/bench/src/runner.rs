@@ -1,6 +1,19 @@
 //! Run-configuration plumbing shared by the figure binaries.
+//!
+//! Environment knobs (all optional; see EXPERIMENTS.md):
+//!
+//! * `ATTACHE_QUICK` — fast smoke configuration (40k/8k instructions).
+//! * `ATTACHE_INSTR` / `ATTACHE_WARMUP` — run length per core.
+//! * `ATTACHE_SEED` — base seed; per-job seeds are derived from it.
+//! * `ATTACHE_WORKERS` — worker threads for grid execution (default: all
+//!   cores). Results are bit-identical for any worker count.
+//! * `ATTACHE_RESULTS` — results directory (default `results`); the
+//!   per-job report cache lives in its `cache/` subdirectory.
+//! * `ATTACHE_NO_CACHE` — skip the report cache (recompute and do not
+//!   save). Passing `--no-cache` to a figure binary does the same.
 
 use attache_sim::SimConfig;
+use std::path::PathBuf;
 
 /// Harness-level configuration, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -14,10 +27,21 @@ pub struct ExperimentConfig {
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                // A set-but-unparsable knob is almost certainly a typo the
+                // user wants to know about, not a request for the default.
+                eprintln!(
+                    "[attache-bench] warning: {name}={v:?} is not a valid u64; \
+                     using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 impl ExperimentConfig {
@@ -45,6 +69,34 @@ impl ExperimentConfig {
     /// A short tag identifying this configuration in cache file names.
     pub fn tag(&self) -> String {
         format!("i{}_w{}_s{}", self.instructions, self.warmup, self.seed)
+    }
+
+    /// Worker threads for grid execution: `ATTACHE_WORKERS`, defaulting to
+    /// the machine's parallelism. Per-job seeds make results independent
+    /// of the worker count, so parallel is safe to default to.
+    pub fn workers(&self) -> usize {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (env_u64("ATTACHE_WORKERS", default as u64) as usize).max(1)
+    }
+
+    /// Whether the per-job report cache is enabled. Disabled by the
+    /// `ATTACHE_NO_CACHE` environment variable or a `--no-cache`
+    /// command-line argument.
+    pub fn cache_enabled(&self) -> bool {
+        std::env::var_os("ATTACHE_NO_CACHE").is_none()
+            && !std::env::args().any(|a| a == "--no-cache")
+    }
+
+    /// The results directory (`ATTACHE_RESULTS`, default `results`).
+    pub fn results_dir(&self) -> PathBuf {
+        PathBuf::from(std::env::var("ATTACHE_RESULTS").unwrap_or_else(|_| "results".into()))
+    }
+
+    /// The per-job report cache directory (`<results>/cache`).
+    pub fn cache_dir(&self) -> PathBuf {
+        self.results_dir().join("cache")
     }
 }
 

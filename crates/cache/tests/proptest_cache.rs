@@ -1,38 +1,78 @@
 //! Property-based tests for the set-associative cache model: structural
 //! invariants must hold under arbitrary access sequences and every
 //! replacement policy.
+//!
+//! Access sequences come from a seeded splitmix64 generator (no external
+//! property-testing crate), so the suite builds offline and each failing
+//! case is reproducible from its iteration index.
 
 use attache_cache::{CacheConfig, PolicyKind, SetAssocCache};
-use proptest::prelude::*;
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop::sample::select(PolicyKind::ALL.to_vec())
+const CASES: u64 = 128;
+
+/// Deterministic case generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn vec(&mut self, min: usize, max: usize, bound: u64) -> Vec<u64> {
+        let len = min + self.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| self.below(bound)).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn stats_always_balance(
-        policy in policy_strategy(),
-        accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..400),
-    ) {
+/// Cycles through every policy across the case loop.
+fn policy_for(case: u64) -> PolicyKind {
+    PolicyKind::ALL[case as usize % PolicyKind::ALL.len()]
+}
+
+#[test]
+fn stats_always_balance() {
+    let mut g = Gen::new(10);
+    for case in 0..CASES {
+        let policy = policy_for(case);
+        let accesses: Vec<(u64, bool)> = (0..1 + g.below(400))
+            .map(|_| (g.below(512), g.bool()))
+            .collect();
         let mut c = SetAssocCache::new(CacheConfig { sets: 8, ways: 2, policy });
         for (addr, write) in &accesses {
             c.access(*addr, *write, addr >> 3);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses, accesses.len() as u64);
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert!(s.dirty_evictions <= s.evictions);
-        prop_assert!(s.evictions <= s.misses);
-        prop_assert!(c.occupancy() <= c.capacity_lines());
+        assert_eq!(s.accesses, accesses.len() as u64, "case {case} {policy}");
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case} {policy}");
+        assert!(s.dirty_evictions <= s.evictions, "case {case} {policy}");
+        assert!(s.evictions <= s.misses, "case {case} {policy}");
+        assert!(c.occupancy() <= c.capacity_lines(), "case {case} {policy}");
     }
+}
 
-    #[test]
-    fn resident_line_hits_immediately(
-        policy in policy_strategy(),
-        addr in 0u64..10_000,
-        noise in prop::collection::vec(0u64..10_000, 0..16),
-    ) {
+#[test]
+fn resident_line_hits_immediately() {
+    let mut g = Gen::new(11);
+    for case in 0..CASES {
+        let policy = policy_for(case);
+        let addr = g.below(10_000);
+        let noise = g.vec(0, 16, 10_000);
         // A large cache: the noise cannot evict `addr` (distinct sets or
         // enough ways).
         let mut c = SetAssocCache::new(CacheConfig { sets: 4096, ways: 8, policy });
@@ -42,15 +82,17 @@ proptest! {
                 c.access(*n, false, 0);
             }
         }
-        prop_assert!(c.probe(addr));
-        prop_assert!(c.access(addr, false, 0).hit);
+        assert!(c.probe(addr), "case {case} {policy}");
+        assert!(c.access(addr, false, 0).hit, "case {case} {policy}");
     }
+}
 
-    #[test]
-    fn eviction_address_reconstruction_is_exact(
-        policy in policy_strategy(),
-        tags in prop::collection::vec(0u64..64, 2..40),
-    ) {
+#[test]
+fn eviction_address_reconstruction_is_exact() {
+    let mut g = Gen::new(12);
+    for case in 0..CASES {
+        let policy = policy_for(case);
+        let tags = g.vec(2, 40, 64);
         // Single set, single way: every miss evicts the previous line.
         let mut c = SetAssocCache::new(CacheConfig { sets: 1, ways: 1, policy });
         let mut resident: Option<u64> = None;
@@ -58,37 +100,48 @@ proptest! {
             let out = c.access(t, false, 0);
             if let Some(prev) = resident {
                 if prev != t {
-                    prop_assert_eq!(out.evicted.map(|e| e.line_addr), Some(prev));
+                    assert_eq!(
+                        out.evicted.map(|e| e.line_addr),
+                        Some(prev),
+                        "case {case} {policy}"
+                    );
                 }
             }
             resident = Some(t);
         }
     }
+}
 
-    #[test]
-    fn dirty_bit_follows_writes(
-        policy in policy_strategy(),
-        write_first in any::<bool>(),
-    ) {
-        let mut c = SetAssocCache::new(CacheConfig { sets: 1, ways: 1, policy });
-        c.access(1, write_first, 0);
-        let out = c.access(2, false, 0);
-        prop_assert_eq!(out.evicted.map(|e| e.dirty), Some(write_first));
+#[test]
+fn dirty_bit_follows_writes() {
+    for policy in PolicyKind::ALL {
+        for write_first in [false, true] {
+            let mut c = SetAssocCache::new(CacheConfig { sets: 1, ways: 1, policy });
+            c.access(1, write_first, 0);
+            let out = c.access(2, false, 0);
+            assert_eq!(
+                out.evicted.map(|e| e.dirty),
+                Some(write_first),
+                "{policy} write_first={write_first}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn invalidate_then_probe_is_false(
-        policy in policy_strategy(),
-        addrs in prop::collection::vec(0u64..256, 1..64),
-    ) {
+#[test]
+fn invalidate_then_probe_is_false() {
+    let mut g = Gen::new(13);
+    for case in 0..CASES {
+        let policy = policy_for(case);
+        let addrs = g.vec(1, 64, 256);
         let mut c = SetAssocCache::new(CacheConfig { sets: 16, ways: 4, policy });
         for a in &addrs {
             c.access(*a, false, 0);
         }
         for a in &addrs {
             c.invalidate(*a);
-            prop_assert!(!c.probe(*a));
+            assert!(!c.probe(*a), "case {case} {policy}");
         }
-        prop_assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.occupancy(), 0, "case {case} {policy}");
     }
 }

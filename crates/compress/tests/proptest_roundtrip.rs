@@ -1,112 +1,150 @@
 //! Property-based tests for the compression substrate: every algorithm must
 //! be lossless on arbitrary inputs, and sizes must be internally consistent.
+//!
+//! The cases come from a seeded splitmix64 generator instead of an external
+//! property-testing crate, so the suite builds in offline sandboxes and the
+//! failing case is always reproducible from the iteration index.
 
 use attache_compress::bdi::Bdi;
 use attache_compress::fpc::Fpc;
 use attache_compress::{Block, CompressionEngine, Compressor, BLOCK_SIZE};
-use proptest::prelude::*;
 
-fn block_strategy() -> impl Strategy<Value = Block> {
-    prop::array::uniform32(any::<u8>()).prop_flat_map(|lo| {
-        prop::array::uniform32(any::<u8>()).prop_map(move |hi| {
-            let mut b = [0u8; BLOCK_SIZE];
-            b[..32].copy_from_slice(&lo);
-            b[32..].copy_from_slice(&hi);
-            b
-        })
-    })
-}
+const CASES: u64 = 512;
 
-/// Structured blocks: more likely to be compressible, exercising all
-/// encodings rather than just the uncompressed path.
-fn structured_block_strategy() -> impl Strategy<Value = Block> {
-    (
-        any::<u64>(),
-        prop::collection::vec(-300i64..300, 8),
-        0usize..4,
-    )
-        .prop_map(|(base, deltas, kind)| {
-            let mut b = [0u8; BLOCK_SIZE];
-            match kind {
-                0 => {
-                    // u64 base + small deltas
-                    for (chunk, d) in b.chunks_exact_mut(8).zip(&deltas) {
-                        chunk.copy_from_slice(&(base.wrapping_add(*d as u64)).to_le_bytes());
-                    }
-                }
-                1 => {
-                    // small u32 values
-                    for (i, chunk) in b.chunks_exact_mut(4).enumerate() {
-                        let v = (deltas[i % 8] & 0xFF) as u32;
-                        chunk.copy_from_slice(&v.to_le_bytes());
-                    }
-                }
-                2 => {
-                    // repeated 8B value
-                    for chunk in b.chunks_exact_mut(8) {
-                        chunk.copy_from_slice(&base.to_le_bytes());
-                    }
-                }
-                _ => {
-                    // sparse: mostly zero with a few words set
-                    for (i, d) in deltas.iter().enumerate() {
-                        let w = (*d as u32).to_le_bytes();
-                        b[i * 8..i * 8 + 4].copy_from_slice(&w);
-                    }
+/// Deterministic case generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A fully random (usually incompressible) 64-byte block.
+    fn block(&mut self) -> Block {
+        let mut b = [0u8; BLOCK_SIZE];
+        for chunk in b.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        b
+    }
+
+    /// Structured blocks: more likely to be compressible, exercising all
+    /// encodings rather than just the uncompressed path.
+    fn structured_block(&mut self) -> Block {
+        let base = self.next_u64();
+        let deltas: Vec<i64> = (0..8).map(|_| (self.next_u64() % 600) as i64 - 300).collect();
+        let kind = self.next_u64() % 4;
+        let mut b = [0u8; BLOCK_SIZE];
+        match kind {
+            0 => {
+                // u64 base + small deltas
+                for (chunk, d) in b.chunks_exact_mut(8).zip(&deltas) {
+                    chunk.copy_from_slice(&(base.wrapping_add(*d as u64)).to_le_bytes());
                 }
             }
-            b
-        })
+            1 => {
+                // small u32 values
+                for (i, chunk) in b.chunks_exact_mut(4).enumerate() {
+                    let v = (deltas[i % 8] & 0xFF) as u32;
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            2 => {
+                // repeated 8B value
+                for chunk in b.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&base.to_le_bytes());
+                }
+            }
+            _ => {
+                // sparse: mostly zero with a few words set
+                for (i, d) in deltas.iter().enumerate() {
+                    let w = (*d as u32).to_le_bytes();
+                    b[i * 8..i * 8 + 4].copy_from_slice(&w);
+                }
+            }
+        }
+        b
+    }
 }
 
-proptest! {
-    #[test]
-    fn bdi_roundtrips_random_blocks(block in block_strategy()) {
-        let bdi = Bdi::new();
+#[test]
+fn bdi_roundtrips_random_blocks() {
+    let mut g = Gen::new(1);
+    let bdi = Bdi::new();
+    for case in 0..CASES {
+        let block = g.block();
         if let Some(image) = bdi.compress(&block) {
-            prop_assert!(image.size() < BLOCK_SIZE);
-            prop_assert_eq!(bdi.decompress(&image), block);
+            assert!(image.size() < BLOCK_SIZE, "case {case}");
+            assert_eq!(bdi.decompress(&image), block, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn fpc_roundtrips_random_blocks(block in block_strategy()) {
-        let fpc = Fpc::new();
+#[test]
+fn fpc_roundtrips_random_blocks() {
+    let mut g = Gen::new(2);
+    let fpc = Fpc::new();
+    for case in 0..CASES {
+        let block = g.block();
         if let Some(image) = fpc.compress(&block) {
-            prop_assert!(image.size() < BLOCK_SIZE);
-            prop_assert_eq!(fpc.decompress(&image), block);
+            assert!(image.size() < BLOCK_SIZE, "case {case}");
+            assert_eq!(fpc.decompress(&image), block, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn engine_roundtrips_any_block(block in block_strategy()) {
-        let engine = CompressionEngine::new();
+#[test]
+fn engine_roundtrips_any_block() {
+    let mut g = Gen::new(3);
+    let engine = CompressionEngine::new();
+    for case in 0..CASES {
+        let block = g.block();
         let outcome = engine.compress(&block);
-        prop_assert_eq!(engine.decompress(&outcome), block);
+        assert_eq!(engine.decompress(&outcome), block, "case {case}");
     }
+}
 
-    #[test]
-    fn engine_roundtrips_structured_blocks(block in structured_block_strategy()) {
-        let engine = CompressionEngine::new();
+#[test]
+fn engine_roundtrips_structured_blocks() {
+    let mut g = Gen::new(4);
+    let engine = CompressionEngine::new();
+    for case in 0..CASES {
+        let block = g.structured_block();
         let outcome = engine.compress(&block);
-        prop_assert_eq!(engine.decompress(&outcome), block);
-        prop_assert!(outcome.compressed_size() <= BLOCK_SIZE);
+        assert_eq!(engine.decompress(&outcome), block, "case {case}");
+        assert!(outcome.compressed_size() <= BLOCK_SIZE, "case {case}");
     }
+}
 
-    #[test]
-    fn structured_blocks_usually_fit_subrank(block in structured_block_strategy()) {
-        // Not a strict guarantee, but the engine must never report a
-        // compressed size larger than the block.
-        let engine = CompressionEngine::new();
-        prop_assert!(engine.compressed_size(&block) <= BLOCK_SIZE);
+#[test]
+fn structured_blocks_usually_fit_subrank() {
+    // Not a strict guarantee, but the engine must never report a
+    // compressed size larger than the block.
+    let mut g = Gen::new(5);
+    let engine = CompressionEngine::new();
+    for case in 0..CASES {
+        let block = g.structured_block();
+        assert!(engine.compressed_size(&block) <= BLOCK_SIZE, "case {case}");
     }
+}
 
-    #[test]
-    fn fpc_bit_accounting_is_exact(block in structured_block_strategy()) {
+#[test]
+fn fpc_bit_accounting_is_exact() {
+    let mut g = Gen::new(6);
+    for case in 0..CASES {
+        let block = g.structured_block();
         let bits = Fpc::compressed_bits(&block) as usize;
         match Fpc::new().compress(&block) {
-            Some(image) => prop_assert_eq!(image.size(), bits.div_ceil(8)),
-            None => prop_assert!(bits.div_ceil(8) >= BLOCK_SIZE),
+            Some(image) => assert_eq!(image.size(), bits.div_ceil(8), "case {case}"),
+            None => assert!(bits.div_ceil(8) >= BLOCK_SIZE, "case {case}"),
         }
     }
 }

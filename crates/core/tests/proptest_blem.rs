@@ -1,127 +1,157 @@
 //! Property-based tests for the BLEM engine and its supporting hardware:
 //! the write→read flow must be lossless for *arbitrary* data, headers must
 //! classify consistently, and the scrambler must be a keyed involution.
+//!
+//! Cases come from a seeded splitmix64 generator (no external
+//! property-testing crate), so the suite builds offline and each failing
+//! case is reproducible from its iteration index.
 
 use attache_core::blem::Blem;
 use attache_core::header::{CidConfig, CidValue};
 use attache_core::scramble::Scrambler;
-use proptest::prelude::*;
 
-fn block_strategy() -> impl Strategy<Value = [u8; 64]> {
-    prop::array::uniform32(any::<u8>()).prop_flat_map(|lo| {
-        prop::array::uniform32(any::<u8>()).prop_map(move |hi| {
-            let mut b = [0u8; 64];
-            b[..32].copy_from_slice(&lo);
-            b[32..].copy_from_slice(&hi);
-            b
-        })
-    })
-}
+const CASES: u64 = 256;
 
-/// Blocks biased towards compressibility so both BLEM paths get exercised.
-fn biased_block_strategy() -> impl Strategy<Value = [u8; 64]> {
-    (any::<u64>(), 0u8..4, prop::collection::vec(-100i64..100, 8)).prop_map(
-        |(base, kind, deltas)| {
-            let mut b = [0u8; 64];
-            match kind {
-                0 => {
-                    for (c, d) in b.chunks_exact_mut(8).zip(&deltas) {
-                        c.copy_from_slice(&(base.wrapping_add(*d as u64)).to_le_bytes());
-                    }
-                }
-                1 => {
-                    for (i, c) in b.chunks_exact_mut(4).enumerate() {
-                        c.copy_from_slice(&((deltas[i % 8] & 0x3F) as u32).to_le_bytes());
-                    }
-                }
-                2 => { /* zeros */ }
-                _ => {
-                    let mut s = base | 1;
-                    for byte in b.iter_mut() {
-                        s ^= s << 13;
-                        s ^= s >> 7;
-                        s ^= s << 17;
-                        *byte = (s >> 33) as u8;
-                    }
+/// Deterministic case generator (splitmix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn block(&mut self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        for chunk in b.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        b
+    }
+
+    /// Blocks biased towards compressibility so both BLEM paths get
+    /// exercised.
+    fn biased_block(&mut self) -> [u8; 64] {
+        let base = self.next_u64();
+        let kind = self.next_u64() % 4;
+        let deltas: Vec<i64> = (0..8).map(|_| (self.next_u64() % 200) as i64 - 100).collect();
+        let mut b = [0u8; 64];
+        match kind {
+            0 => {
+                for (c, d) in b.chunks_exact_mut(8).zip(&deltas) {
+                    c.copy_from_slice(&(base.wrapping_add(*d as u64)).to_le_bytes());
                 }
             }
-            b
-        },
-    )
+            1 => {
+                for (i, c) in b.chunks_exact_mut(4).enumerate() {
+                    c.copy_from_slice(&((deltas[i % 8] & 0x3F) as u32).to_le_bytes());
+                }
+            }
+            2 => { /* zeros */ }
+            _ => {
+                let mut s = base | 1;
+                for byte in b.iter_mut() {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    *byte = (s >> 33) as u8;
+                }
+            }
+        }
+        b
+    }
 }
 
-proptest! {
-    #[test]
-    fn blem_write_read_is_lossless(
-        seed in any::<u64>(),
-        addr in 0u64..(1 << 28),
-        block in block_strategy(),
-    ) {
+#[test]
+fn blem_write_read_is_lossless() {
+    let mut g = Gen::new(20);
+    for case in 0..CASES {
+        let seed = g.next_u64();
+        let addr = g.next_u64() % (1 << 28);
+        let block = g.block();
         let mut blem = Blem::new(seed);
         let w = blem.write_line(addr, &block);
         let (out, info) = blem.read_line(addr, &w.image);
-        prop_assert_eq!(out, block);
-        prop_assert_eq!(info.compressed, w.compressed);
-        prop_assert_eq!(info.collision, w.collision);
+        assert_eq!(out, block, "case {case}");
+        assert_eq!(info.compressed, w.compressed, "case {case}");
+        assert_eq!(info.collision, w.collision, "case {case}");
     }
+}
 
-    #[test]
-    fn blem_biased_roundtrip_and_probe_agree(
-        seed in any::<u64>(),
-        addr in 0u64..(1 << 28),
-        block in biased_block_strategy(),
-    ) {
+#[test]
+fn blem_biased_roundtrip_and_probe_agree() {
+    let mut g = Gen::new(21);
+    for case in 0..CASES {
+        let seed = g.next_u64();
+        let addr = g.next_u64() % (1 << 28);
+        let block = g.biased_block();
         let mut blem = Blem::new(seed);
         let (p_comp, p_coll) = blem.probe_line(addr, &block);
         let w = blem.write_line(addr, &block);
-        prop_assert_eq!(p_comp, w.compressed);
-        prop_assert_eq!(p_coll, w.collision);
+        assert_eq!(p_comp, w.compressed, "case {case}");
+        assert_eq!(p_coll, w.collision, "case {case}");
         let (out, _) = blem.read_line(addr, &w.image);
-        prop_assert_eq!(out, block);
+        assert_eq!(out, block, "case {case}");
     }
+}
 
-    #[test]
-    fn compressed_images_always_fit_one_subrank(
-        seed in any::<u64>(),
-        addr in any::<u64>(),
-        block in biased_block_strategy(),
-    ) {
+#[test]
+fn compressed_images_always_fit_one_subrank() {
+    let mut g = Gen::new(22);
+    for case in 0..CASES {
+        let seed = g.next_u64();
+        let addr = g.next_u64();
+        let block = g.biased_block();
         let mut blem = Blem::new(seed);
         let w = blem.write_line(addr, &block);
         if w.compressed {
-            prop_assert_eq!(w.image.stored_bytes(), 32);
-            prop_assert!(!w.collision, "compressed lines cannot collide");
+            assert_eq!(w.image.stored_bytes(), 32, "case {case}");
+            assert!(!w.collision, "compressed lines cannot collide (case {case})");
         } else {
-            prop_assert_eq!(w.image.stored_bytes(), 64);
+            assert_eq!(w.image.stored_bytes(), 64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn header_classification_is_exhaustive(
-        seed in any::<u64>(),
-        header in any::<u16>(),
-        cid_bits in 5u8..=15,
-    ) {
+#[test]
+fn header_classification_is_exhaustive() {
+    let mut g = Gen::new(23);
+    for case in 0..CASES {
+        let seed = g.next_u64();
+        let header = g.next_u64() as u16;
+        let cid_bits = 5 + (g.next_u64() % 11) as u8; // 5..=15
         let cid = CidValue::from_seed(seed, CidConfig::new(cid_bits));
         let m = cid.parse_header(header);
         // Exactly one of: compressed, collision, plain-uncompressed.
-        let states =
-            m.is_compressed() as u8 + m.is_collision() as u8 + (!m.cid_matches) as u8;
-        prop_assert_eq!(states, 1);
+        let states = m.is_compressed() as u8 + m.is_collision() as u8 + (!m.cid_matches) as u8;
+        assert_eq!(states, 1, "case {case} header {header:#06x} cid_bits {cid_bits}");
     }
+}
 
-    #[test]
-    fn scrambler_is_involution(
-        seed in any::<u64>(),
-        addr in any::<u64>(),
-        block in block_strategy(),
-    ) {
+#[test]
+fn scrambler_is_involution() {
+    let mut g = Gen::new(24);
+    for case in 0..CASES {
+        let seed = g.next_u64();
+        let addr = g.next_u64();
+        let block = g.block();
         let s = Scrambler::new(seed);
-        prop_assert_eq!(s.descramble(addr, &s.scramble(addr, &block)), block);
+        assert_eq!(s.descramble(addr, &s.scramble(addr, &block)), block, "case {case}");
     }
+}
 
-    #[test]
-    fn scrambled_header_collides_at_cid_rate(seed in any::<u64>()) {
+#[test]
+fn scrambled_header_collides_at_cid_rate() {
+    let mut g = Gen::new(25);
+    for case in 0..8 {
+        let seed = g.next_u64();
         // Statistical: over 8K incompressible lines with an 8-bit CID the
         // collision count concentrates near 32.
         let blem = Blem::with_config(seed, CidConfig::new(8));
@@ -140,6 +170,9 @@ proptest! {
                 collisions += 1;
             }
         }
-        prop_assert!((2..=100).contains(&collisions), "collisions {collisions}");
+        assert!(
+            (2..=100).contains(&collisions),
+            "case {case}: collisions {collisions}"
+        );
     }
 }

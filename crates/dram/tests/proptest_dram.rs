@@ -1,37 +1,65 @@
 //! Property-based tests for the DRAM model: the timing state machines must
 //! never lose a request, latencies must respect physical floors, and the
 //! address mapping must be a bijection.
+//!
+//! Cases come from a seeded splitmix64 generator (no external
+//! property-testing crate), so the suite builds offline and each failing
+//! case is reproducible from its iteration index.
 
 use attache_dram::{
     AccessKind, AccessWidth, AddressMapping, DramConfig, MemRequest, MemorySystem, Origin,
     PowerParams, SubrankId, Timing,
 };
-use proptest::prelude::*;
 
-fn width_strategy() -> impl Strategy<Value = AccessWidth> {
-    prop_oneof![
-        Just(AccessWidth::Full),
-        Just(AccessWidth::Half(SubrankId(0))),
-        Just(AccessWidth::Half(SubrankId(1))),
-    ]
-}
+/// Deterministic case generator (splitmix64).
+struct Gen(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mapping_is_bijective(addr in 0u64..(1 << 28)) {
-        let m = AddressMapping::new(DramConfig::table2());
-        prop_assert_eq!(m.compose(m.decompose(addr)), addr);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF)
     }
 
-    #[test]
-    fn every_request_completes_exactly_once(
-        reqs in prop::collection::vec(
-            (0u64..(1 << 20), any::<bool>(), width_strategy()),
-            1..40,
-        ),
-    ) {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn width(&mut self) -> AccessWidth {
+        match self.next_u64() % 3 {
+            0 => AccessWidth::Full,
+            1 => AccessWidth::Half(SubrankId(0)),
+            _ => AccessWidth::Half(SubrankId(1)),
+        }
+    }
+}
+
+#[test]
+fn mapping_is_bijective() {
+    let mut g = Gen::new(30);
+    let m = AddressMapping::new(DramConfig::table2());
+    for case in 0..4096 {
+        let addr = g.next_u64() % (1 << 28);
+        assert_eq!(m.compose(m.decompose(addr)), addr, "case {case}");
+    }
+}
+
+#[test]
+fn every_request_completes_exactly_once() {
+    let mut g = Gen::new(31);
+    for case in 0..64 {
+        let n = 1 + g.next_u64() % 40;
+        let reqs: Vec<(u64, bool, AccessWidth)> = (0..n)
+            .map(|_| {
+                (
+                    g.next_u64() % (1 << 20),
+                    g.next_u64() & 1 == 1,
+                    g.width(),
+                )
+            })
+            .collect();
         let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
         let mut pending: Vec<u64> = Vec::new();
         let mut backlog: Vec<MemRequest> = reqs
@@ -79,23 +107,26 @@ proptest! {
             }
             mem.tick();
             for c in mem.drain_completions() {
-                prop_assert!(
+                assert!(
                     seen_done.insert(c.request.id),
-                    "request {} completed twice", c.request.id
+                    "case {case}: request {} completed twice",
+                    c.request.id
                 );
                 expected.remove(&c.request.id);
                 pending.retain(|&p| p != c.request.id);
             }
             guard += 1;
-            prop_assert!(guard < 2_000_000, "requests must not be lost");
+            assert!(guard < 2_000_000, "case {case}: requests must not be lost");
         }
     }
+}
 
-    #[test]
-    fn read_latency_has_physical_floor(
-        line in 0u64..(1 << 24),
-        width in width_strategy(),
-    ) {
+#[test]
+fn read_latency_has_physical_floor() {
+    let mut g = Gen::new(32);
+    for case in 0..256 {
+        let line = g.next_u64() % (1 << 24);
+        let width = g.width();
         let t = Timing::table2();
         let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
         mem.enqueue(MemRequest {
@@ -105,7 +136,8 @@ proptest! {
             width,
             origin: Origin::Demand { core: 0 },
             arrival: 0,
-        }).unwrap();
+        })
+        .unwrap();
         let mut done = Vec::new();
         for _ in 0..10_000 {
             mem.tick();
@@ -114,33 +146,42 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), 1);
+        assert_eq!(done.len(), 1, "case {case}");
         // Cold bank: ACT + tRCD + CL + burst is the minimum possible.
         let floor = t.t_rcd + t.t_cas + t.t_burst;
-        prop_assert!(done[0].latency() >= floor, "latency {}", done[0].latency());
+        assert!(
+            done[0].latency() >= floor,
+            "case {case}: latency {}",
+            done[0].latency()
+        );
     }
+}
 
-    #[test]
-    fn energy_is_monotone_in_work(extra in 1u64..16) {
-        let run = |n: u64| {
-            let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
-            for i in 0..n {
-                mem.enqueue(MemRequest {
-                    id: i,
-                    line_addr: i * 64,
-                    kind: AccessKind::Read,
-                    width: AccessWidth::Full,
-                    origin: Origin::Demand { core: 0 },
-                    arrival: 0,
-                }).unwrap();
-            }
-            let mut got = 0;
-            while got < n as usize {
-                mem.tick();
-                got += mem.drain_completions().len();
-            }
-            mem.energy().total_pj()
-        };
-        prop_assert!(run(4 + extra) > run(4));
+#[test]
+fn energy_is_monotone_in_work() {
+    let run = |n: u64| {
+        let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
+        for i in 0..n {
+            mem.enqueue(MemRequest {
+                id: i,
+                line_addr: i * 64,
+                kind: AccessKind::Read,
+                width: AccessWidth::Full,
+                origin: Origin::Demand { core: 0 },
+                arrival: 0,
+            })
+            .unwrap();
+        }
+        let mut got = 0;
+        while got < n as usize {
+            mem.tick();
+            got += mem.drain_completions().len();
+        }
+        mem.energy().total_pj()
+    };
+    let mut g = Gen::new(33);
+    for case in 0..16 {
+        let extra = 1 + g.next_u64() % 15;
+        assert!(run(4 + extra) > run(4), "case {case}: extra {extra}");
     }
 }

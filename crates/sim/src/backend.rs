@@ -1,5 +1,16 @@
 //! The functional memory backend: who lives where, and what the bytes are.
 //!
+//! This is the *functional* half of the Strategy/MemoryBackend split (see
+//! [`crate::strategy`]): while a [`Strategy`](crate::strategy::Strategy)
+//! plans timing-side requests from what the controller *believes* about a
+//! line, the backend answers what is *actually* stored there — the
+//! synthesized bytes, their real compressibility class, and the physical
+//! layout of the metadata and Replacement-Area regions. Strategies consult
+//! it to resolve predictions (did the half-width read suffice?) and the
+//! figure binaries consult it for ground-truth compressibility (Fig. 4).
+//! It is deliberately cycle-free: a lookup has no cost here; only the
+//! requests a strategy chooses to issue cost bus cycles.
+//!
 //! Physical placement: each core's private footprint is packed
 //! contiguously from address zero; the compression-metadata region and the
 //! Replacement Area live above the workload span (both invisible to the

@@ -34,6 +34,34 @@ impl core::fmt::Display for MetadataStrategyKind {
     }
 }
 
+impl core::str::FromStr for MetadataStrategyKind {
+    type Err = UnknownStrategy;
+
+    /// Parses the Display form; "Oracle" is accepted as an alias for the
+    /// figure label "Ideal".
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Baseline" => Ok(MetadataStrategyKind::Baseline),
+            "MetadataCache" => Ok(MetadataStrategyKind::MetadataCache),
+            "Attache" => Ok(MetadataStrategyKind::Attache),
+            "Ideal" | "Oracle" => Ok(MetadataStrategyKind::Oracle),
+            _ => Err(UnknownStrategy),
+        }
+    }
+}
+
+/// Error returned when parsing an unknown strategy name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownStrategy;
+
+impl core::fmt::Display for UnknownStrategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("unknown metadata strategy (expected Baseline, MetadataCache, Attache or Ideal)")
+    }
+}
+
+impl std::error::Error for UnknownStrategy {}
+
 /// Core-model parameters (Table II: 8 OoO cores, 4 GHz, 4-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {

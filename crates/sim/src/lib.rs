@@ -24,6 +24,7 @@
 pub mod backend;
 pub mod config;
 pub mod core_model;
+pub mod report_io;
 pub mod stats;
 pub mod strategy;
 pub mod system;

@@ -14,7 +14,7 @@ use crate::strategy::StrategyStats;
 pub const BUS_CYCLE_NS: f64 = 0.625;
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name (benchmark or mix).
     pub name: String,

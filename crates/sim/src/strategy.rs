@@ -5,6 +5,37 @@
 //! a block's compressibility before reading, (b) what width each access
 //! uses, and (c) what *extra* requests metadata management injects. This is
 //! what makes the Figs. 12-15 comparisons apples-to-apples.
+//!
+//! # The Strategy / MemoryBackend split
+//!
+//! A [`Strategy`] is the *timing-side* brain of the memory controller: on
+//! an LLC miss or writeback it produces a [`ReadPlan`] or [`WritePlan`] —
+//! pure descriptions of which DRAM requests to issue, at which
+//! [`AccessWidth`], in which order, and attributed to which [`Origin`].
+//! The [`System`](crate::system::System) turns those plans into scheduled
+//! [`attache_dram`] transactions; the strategy never touches bytes or
+//! cycles itself.
+//!
+//! The [`MemoryBackend`](crate::backend::MemoryBackend) is the
+//! *functional* ground truth the plans are checked against: what every
+//! line actually contains, whether it really compresses, and where the
+//! metadata and Replacement-Area regions live. Keeping the two apart is
+//! what lets a strategy be *wrong* — COPR can mispredict a width, a CID
+//! can collide — with the mismatch surfacing as corrective traffic in the
+//! timing model rather than as corrupted data, exactly as in hardware.
+//!
+//! Concretely, per strategy:
+//!
+//! * **Baseline** (§II) — uncompressed, full-width reads, no side traffic.
+//! * **MetadataCache** (§II-B) — an on-controller cache of metadata lines;
+//!   misses prepend a blocking install read (`meta_first`), dirty
+//!   evictions append metadata writes.
+//! * **Attache** (§IV-V) — BLEM embeds the metadata in the line itself, so
+//!   reads are issued immediately at the width COPR predicts; wrong
+//!   guesses trigger corrective reads, CID collisions fall back to the
+//!   Replacement Area.
+//! * **Oracle** — free, always-correct metadata: the "Ideal" bound of
+//!   Figs. 12-13.
 
 use attache_cache::{MetadataCache, MetadataCacheConfig};
 use attache_compress::CompressionEngine;
@@ -54,7 +85,7 @@ pub struct WritePlan {
 }
 
 /// Read-resolution statistics kept by the strategy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StrategyStats {
     /// Demand reads resolved.
     pub reads: u64,

@@ -59,6 +59,15 @@ pub struct System {
     cpu_accum: u32,
 }
 
+// The experiment harness fans simulations out across worker threads, so a
+// `System` (and everything it owns, including the `Box<dyn
+// ReplacementPolicy>` inside each cache) must stay `Send`. This fails to
+// compile if a future field loses that property.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+};
+
 impl System {
     /// Runs `profile` in rate mode (all cores execute the same profile, as
     /// in the paper's single-benchmark experiments) and reports.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, the whole test suite (at the quick
+# smoke configuration so the grid integration tests stay fast), and
+# clippy with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release --workspace
+
+echo "=== cargo test (ATTACHE_QUICK=1) ==="
+ATTACHE_QUICK=1 cargo test -q --workspace --release
+
+echo "=== cargo clippy -- -D warnings ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -2,9 +2,12 @@
 # Regenerates every table and figure of the Attaché paper and stores the
 # console output under results/figures/.
 #
-# The 22-workload x 4-strategy timing sweep runs once (cached under
-# results/); expect ~20-40 minutes on first run. Set ATTACHE_QUICK=1 for a
-# fast smoke pass.
+# Timing simulations run in parallel (ATTACHE_WORKERS, default: all cores)
+# and each (workload, strategy, overrides) job is memoized under
+# results/cache/, so grid points shared between figures — the 22-workload
+# x 4-strategy sweep feeds Figs. 1 and 12-15 — are simulated exactly once.
+# Set ATTACHE_QUICK=1 for a fast smoke pass; pass --no-cache (or set
+# ATTACHE_NO_CACHE=1) to force recomputation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
