@@ -170,6 +170,32 @@ fn bench_dram_channel() {
     });
 }
 
+fn bench_sim_engines() {
+    use attache_sim::{EngineKind, MetadataStrategyKind, SimConfig, System};
+    use attache_workloads::Profile;
+    // A short serialized pointer chase: the latency-bound regime where the
+    // event engine's cycle skipping matters most. Both engines produce
+    // bit-identical reports (enforced by the differential tests); this
+    // tracks the wall-clock gap between them.
+    let base = SimConfig::table2_baseline()
+        .with_strategy(MetadataStrategyKind::Baseline)
+        .with_instructions(6_000, 1_000);
+    let engines = [
+        ("sim_cycle_engine_chase_6k", EngineKind::Cycle),
+        ("sim_event_engine_chase_6k", EngineKind::Event),
+    ];
+    for (name, engine) in engines {
+        let cfg = base.clone().with_engine(engine);
+        bench(name, 10, || {
+            black_box(System::run_rate_mode(
+                black_box(&cfg),
+                Profile::chase(),
+                42,
+            ));
+        });
+    }
+}
+
 fn main() {
     println!("attache micro-benchmarks (hand-rolled harness, ns/iter)");
     bench_compression();
@@ -177,4 +203,5 @@ fn main() {
     bench_metadata_cache();
     bench_blem_and_scrambler();
     bench_dram_channel();
+    bench_sim_engines();
 }

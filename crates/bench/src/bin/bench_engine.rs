@@ -1,0 +1,136 @@
+//! End-to-end engine benchmark: per-cycle vs. event-driven main loop.
+//!
+//! Runs a small grid of memory-bound profiles under both engines
+//! (single-threaded, cache bypassed — this measures the simulator, not
+//! the harness), checks the reports are identical, and writes the wall
+//! times, simulated bus-cycles/second, and speedups to
+//! `<results>/BENCH_engine.json`.
+//!
+//! Run with `cargo run --release -p attache-bench --bin bench_engine`,
+//! or via `scripts/bench.sh`. `ATTACHE_INSTR` / `ATTACHE_WARMUP` /
+//! `ATTACHE_QUICK` control the run length as everywhere else.
+
+use attache_bench::ExperimentConfig;
+use attache_sim::{EngineKind, MetadataStrategyKind, SimConfig, System};
+use attache_workloads::Profile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Case {
+    profile: &'static str,
+    strategy: MetadataStrategyKind,
+}
+
+/// The measured grid: CHASE is the fully serialized dependent chase (the
+/// memory-latency-bound extreme, where long quiescent stalls let the event
+/// engine skip most cycles), mcf/sphinx3/omnetpp are the catalog's pointer
+/// chasers, and RAND/STREAM bound the benefit from below (the bus is busy
+/// almost every cycle).
+const CASES: &[Case] = &[
+    Case { profile: "CHASE", strategy: MetadataStrategyKind::Baseline },
+    Case { profile: "CHASE", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "mcf", strategy: MetadataStrategyKind::Baseline },
+    Case { profile: "mcf", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "sphinx3", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "omnetpp", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "RAND", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "STREAM", strategy: MetadataStrategyKind::Attache },
+];
+
+fn timed_run(cfg: &SimConfig, profile: Profile, seed: u64) -> (attache_sim::RunReport, f64) {
+    let t = Instant::now();
+    let report = System::run_rate_mode(cfg, profile, seed);
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// Repeat count per engine (`ATTACHE_BENCH_REPEAT`, default 2). Runs are
+/// interleaved cycle/event and the per-engine minimum is reported, which
+/// discards transient machine noise the same way `hyperfine --min` does.
+fn repeats() -> usize {
+    std::env::var("ATTACHE_BENCH_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+fn main() {
+    let ec = ExperimentConfig::from_env();
+    let base = ec.sim_config();
+
+    println!(
+        "engine benchmark: {} instr + {} warm-up per core, seed {}",
+        ec.instructions, ec.warmup, ec.seed
+    );
+    println!(
+        "{:<10} {:<14} {:>12} {:>11} {:>11} {:>9}  {:>14}",
+        "workload", "strategy", "bus-cycles", "cycle [s]", "event [s]", "speedup", "event Mcyc/s"
+    );
+
+    let mut rows = String::new();
+    let mut best = 0.0f64;
+    for case in CASES {
+        let profile = Profile::by_name(case.profile).expect("known profile");
+        let cfg = base.clone().with_strategy(case.strategy);
+
+        let (mut s_cycle, mut s_event) = (f64::INFINITY, f64::INFINITY);
+        let (mut r_cycle, mut r_event) = (None, None);
+        for _ in 0..repeats() {
+            let (r, s) = timed_run(
+                &cfg.clone().with_engine(EngineKind::Cycle),
+                profile.clone(),
+                ec.seed,
+            );
+            s_cycle = s_cycle.min(s);
+            r_cycle = Some(r);
+            let (r, s) = timed_run(
+                &cfg.clone().with_engine(EngineKind::Event),
+                profile.clone(),
+                ec.seed,
+            );
+            s_event = s_event.min(s);
+            r_event = Some(r);
+        }
+        let (r_cycle, r_event) = (r_cycle.expect("ran"), r_event.expect("ran"));
+        assert_eq!(r_cycle, r_event, "{}: engines disagree", case.profile);
+
+        let speedup = s_cycle / s_event;
+        best = best.max(speedup);
+        let cyc_rate = r_cycle.bus_cycles as f64 / s_cycle / 1e6;
+        let evt_rate = r_event.bus_cycles as f64 / s_event / 1e6;
+        println!(
+            "{:<10} {:<14} {:>12} {:>11.3} {:>11.3} {:>8.2}x  {:>14.1}",
+            case.profile,
+            format!("{:?}", case.strategy),
+            r_event.bus_cycles,
+            s_cycle,
+            s_event,
+            speedup,
+            evt_rate,
+        );
+
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            concat!(
+                "    {{\"workload\": \"{}\", \"strategy\": \"{:?}\", ",
+                "\"bus_cycles\": {}, \"cycle_secs\": {:.6}, \"event_secs\": {:.6}, ",
+                "\"cycle_mcycles_per_sec\": {:.3}, \"event_mcycles_per_sec\": {:.3}, ",
+                "\"speedup\": {:.3}}}"
+            ),
+            case.profile, case.strategy, r_event.bus_cycles, s_cycle, s_event, cyc_rate, evt_rate, speedup,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"instructions\": {},\n  \"warmup\": {},\n  \"seed\": {},\n  \"cases\": [\n{}\n  ],\n  \"best_speedup\": {:.3}\n}}\n",
+        ec.instructions, ec.warmup, ec.seed, rows, best
+    );
+    let dir = ec.results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_engine.json");
+    std::fs::write(&path, json).expect("write BENCH_engine.json");
+    println!("\nbest speedup {best:.2}x -> {}", path.display());
+}

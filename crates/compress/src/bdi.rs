@@ -175,23 +175,27 @@ fn delta_fits(delta: i64, delta_size: usize) -> bool {
     (min..=max).contains(&delta)
 }
 
+/// Fixed inline buffers: the widest geometry (B2D1) has 32 elements, so a
+/// 4-byte mask and 32 deltas always suffice, and building an image costs no
+/// heap allocation.
 struct BaseDeltaImage {
     base: i64,
-    mask: Vec<u8>,
-    deltas: Vec<i64>,
+    mask: [u8; BLOCK_SIZE / 2 / 8],
+    deltas: [i64; BLOCK_SIZE / 2],
+    n: usize,
 }
 
 fn try_base_delta(block: &Block, enc: Encoding) -> Option<BaseDeltaImage> {
     let (base_size, delta_size) = enc.geometry()?;
     let n = BLOCK_SIZE / base_size;
     let mut base: Option<i64> = None;
-    let mut mask = vec![0u8; n.div_ceil(8)];
-    let mut deltas = Vec::with_capacity(n);
+    let mut mask = [0u8; BLOCK_SIZE / 2 / 8];
+    let mut deltas = [0i64; BLOCK_SIZE / 2];
     for i in 0..n {
         let v = read_elem(block, i, base_size);
         if delta_fits(v, delta_size) {
             // Delta from the implicit zero base.
-            deltas.push(v);
+            deltas[i] = v;
         } else {
             let b = *base.get_or_insert(v);
             let delta = v.wrapping_sub(b);
@@ -199,13 +203,14 @@ fn try_base_delta(block: &Block, enc: Encoding) -> Option<BaseDeltaImage> {
                 return None;
             }
             mask[i / 8] |= 1 << (i % 8);
-            deltas.push(delta);
+            deltas[i] = delta;
         }
     }
     Some(BaseDeltaImage {
         base: base.unwrap_or(0),
         mask,
         deltas,
+        n,
     })
 }
 
@@ -216,23 +221,33 @@ impl Compressor for Bdi {
 
     fn compress(&self, block: &Block) -> Option<Compressed> {
         let enc = Bdi::best_encoding(block)?;
-        let mut payload = Vec::with_capacity(enc.compressed_size());
-        payload.push(enc.tag());
+        let mut payload = [0u8; BLOCK_SIZE];
+        let mut len = 0usize;
+        payload[len] = enc.tag();
+        len += 1;
         match enc {
             Encoding::Zeros => {}
-            Encoding::Repeated => payload.extend_from_slice(&block[..8]),
+            Encoding::Repeated => {
+                payload[len..len + 8].copy_from_slice(&block[..8]);
+                len += 8;
+            }
             _ => {
                 let (base_size, delta_size) = enc.geometry().expect("base-delta geometry");
+                let n = BLOCK_SIZE / base_size;
+                let mask_len = n.div_ceil(8);
                 let image = try_base_delta(block, enc).expect("encoding was validated");
-                payload.extend_from_slice(&image.mask);
-                payload.extend_from_slice(&image.base.to_le_bytes()[..base_size]);
-                for d in image.deltas {
-                    payload.extend_from_slice(&d.to_le_bytes()[..delta_size]);
+                payload[len..len + mask_len].copy_from_slice(&image.mask[..mask_len]);
+                len += mask_len;
+                payload[len..len + base_size].copy_from_slice(&image.base.to_le_bytes()[..base_size]);
+                len += base_size;
+                for d in &image.deltas[..image.n] {
+                    payload[len..len + delta_size].copy_from_slice(&d.to_le_bytes()[..delta_size]);
+                    len += delta_size;
                 }
             }
         }
-        debug_assert_eq!(payload.len(), enc.compressed_size());
-        Some(Compressed::from_parts(Algorithm::Bdi, payload))
+        debug_assert_eq!(len, enc.compressed_size());
+        Some(Compressed::from_parts(Algorithm::Bdi, &payload[..len]))
     }
 
     fn decompress(&self, image: &Compressed) -> Block {

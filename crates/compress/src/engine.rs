@@ -9,12 +9,15 @@ use crate::fpc::Fpc;
 use crate::{Algorithm, Block, Compressed, Compressor, BLOCK_SIZE, SUBRANK_TARGET_BYTES};
 
 /// The result of running a block through the [`CompressionEngine`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Both variants hold inline data (a `Compressed` image is itself a fixed
+/// buffer), so producing an outcome never heap-allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompressionOutcome {
     /// The block compressed; the image is strictly smaller than the block.
     Compressed(Compressed),
     /// Neither algorithm could shrink the block; stored verbatim.
-    Uncompressed(Box<Block>),
+    Uncompressed(Block),
 }
 
 impl CompressionOutcome {
@@ -82,7 +85,7 @@ impl CompressionEngine {
         };
         match best {
             Some(c) => CompressionOutcome::Compressed(c),
-            None => CompressionOutcome::Uncompressed(Box::new(*block)),
+            None => CompressionOutcome::Uncompressed(*block),
         }
     }
 
@@ -93,7 +96,7 @@ impl CompressionEngine {
                 Algorithm::Bdi => self.bdi.decompress(c),
                 Algorithm::Fpc => self.fpc.decompress(c),
             },
-            CompressionOutcome::Uncompressed(b) => **b,
+            CompressionOutcome::Uncompressed(b) => *b,
         }
     }
 
@@ -172,14 +175,8 @@ mod tests {
     #[test]
     fn subrank_boundary_is_30_bytes() {
         // An outcome of exactly 30 bytes must fit; 31 must not.
-        let c30 = CompressionOutcome::Compressed(Compressed::from_parts(
-            Algorithm::Fpc,
-            vec![0; 30],
-        ));
-        let c31 = CompressionOutcome::Compressed(Compressed::from_parts(
-            Algorithm::Fpc,
-            vec![0; 31],
-        ));
+        let c30 = CompressionOutcome::Compressed(Compressed::from_parts(Algorithm::Fpc, &[0; 30]));
+        let c31 = CompressionOutcome::Compressed(Compressed::from_parts(Algorithm::Fpc, &[0; 31]));
         assert!(c30.fits_subrank());
         assert!(!c31.fits_subrank());
     }

@@ -105,25 +105,43 @@ fn word_is_repeated_bytes(word: u32) -> bool {
     word == b | (b << 8) | (b << 16) | (b << 24)
 }
 
+/// Worst-case FPC output: 16 words at 3 prefix + 32 data bits = 560 bits,
+/// i.e. 70 bytes. The writer's inline buffer rounds up a little.
+const WRITER_CAP: usize = BLOCK_SIZE + 8;
+
 /// A little-endian bit writer used to pack FPC prefixes and immediates.
-#[derive(Debug, Default)]
+/// The buffer is a fixed inline array so the hot path never allocates; it
+/// starts zeroed, so writing is pure OR.
+#[derive(Debug)]
 struct BitWriter {
-    bytes: Vec<u8>,
+    bytes: [u8; WRITER_CAP],
     bit_len: usize,
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self {
+            bytes: [0; WRITER_CAP],
+            bit_len: 0,
+        }
+    }
 }
 
 impl BitWriter {
     fn push(&mut self, value: u64, bits: u32) {
         debug_assert!(bits <= 64);
+        debug_assert!(self.bit_len + bits as usize <= WRITER_CAP * 8);
         for i in 0..bits {
             let bit = (value >> i) & 1;
             let pos = self.bit_len + i as usize;
-            if pos / 8 == self.bytes.len() {
-                self.bytes.push(0);
-            }
             self.bytes[pos / 8] |= (bit as u8) << (pos % 8);
         }
         self.bit_len += bits as usize;
+    }
+
+    /// Bytes written so far, rounded up to whole bytes.
+    fn byte_len(&self) -> usize {
+        self.bit_len.div_ceil(8)
     }
 }
 
@@ -242,10 +260,11 @@ impl Compressor for Fpc {
             }
             i += 1;
         }
-        if w.bytes.len() >= BLOCK_SIZE {
+        let len = w.byte_len();
+        if len >= BLOCK_SIZE {
             return None;
         }
-        Some(Compressed::from_parts(Algorithm::Fpc, w.bytes))
+        Some(Compressed::from_parts(Algorithm::Fpc, &w.bytes[..len]))
     }
 
     fn decompress(&self, image: &Compressed) -> Block {

@@ -69,16 +69,37 @@ impl core::fmt::Display for Algorithm {
 ///
 /// The payload length **is** the compressed size in bytes; the hardware
 /// analogue is the shifted/packed data lane contents.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The payload lives in a fixed inline buffer (a compressed image is by
+/// definition smaller than [`BLOCK_SIZE`]) so that the compression hot path
+/// — one `Compressed` per line touched — never heap-allocates. Unused tail
+/// bytes are always zero, which keeps the derived `PartialEq`/`Hash` honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Compressed {
     algorithm: Algorithm,
-    payload: Vec<u8>,
+    len: u8,
+    payload: [u8; BLOCK_SIZE],
 }
 
 impl Compressed {
     /// Creates a compressed image from raw parts.
-    pub fn from_parts(algorithm: Algorithm, payload: Vec<u8>) -> Self {
-        Self { algorithm, payload }
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`BLOCK_SIZE`] bytes — that is not a
+    /// compressed image.
+    pub fn from_parts(algorithm: Algorithm, payload: &[u8]) -> Self {
+        assert!(
+            payload.len() <= BLOCK_SIZE,
+            "compressed payload larger than a block"
+        );
+        let mut buf = [0u8; BLOCK_SIZE];
+        buf[..payload.len()].copy_from_slice(payload);
+        Self {
+            algorithm,
+            len: payload.len() as u8,
+            payload: buf,
+        }
     }
 
     /// The algorithm that produced this image.
@@ -88,12 +109,12 @@ impl Compressed {
 
     /// The compressed size in bytes.
     pub fn size(&self) -> usize {
-        self.payload.len()
+        self.len as usize
     }
 
     /// The encoded payload bytes.
     pub fn payload(&self) -> &[u8] {
-        &self.payload
+        &self.payload[..self.len as usize]
     }
 }
 
@@ -131,7 +152,7 @@ mod tests {
 
     #[test]
     fn compressed_reports_parts() {
-        let c = Compressed::from_parts(Algorithm::Bdi, vec![1, 2, 3]);
+        let c = Compressed::from_parts(Algorithm::Bdi, &[1, 2, 3]);
         assert_eq!(c.algorithm(), Algorithm::Bdi);
         assert_eq!(c.size(), 3);
         assert_eq!(c.payload(), &[1, 2, 3]);

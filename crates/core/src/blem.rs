@@ -213,13 +213,15 @@ impl Blem {
             CompressionOutcome::Compressed(c) => c,
             CompressionOutcome::Uncompressed(_) => unreachable!("caller checked fits_subrank"),
         };
-        let mut payload = c.payload().to_vec();
-        debug_assert!(payload.len() <= 30);
-        self.scrambler.scramble_slice(line_addr, &mut payload);
+        let len = c.size();
+        debug_assert!(len <= 30);
+        let mut payload = [0u8; 30];
+        payload[..len].copy_from_slice(c.payload());
+        self.scrambler.scramble_slice(line_addr, &mut payload[..len]);
         let header = self.cid.encode_header(c.algorithm());
         let mut image = [0u8; 32];
         image[..2].copy_from_slice(&header.to_be_bytes());
-        image[2..2 + payload.len()].copy_from_slice(&payload);
+        image[2..2 + len].copy_from_slice(&payload[..len]);
         image
     }
 
@@ -255,12 +257,13 @@ impl Blem {
                 let m = self.inspect(bytes);
                 debug_assert!(m.is_compressed(), "compressed image must carry the CID");
                 let algorithm = self.cid.algorithm_from_info(m.info);
-                let mut payload = bytes[2..].to_vec();
+                let mut payload = [0u8; 30];
+                payload.copy_from_slice(&bytes[2..]);
                 self.scrambler.scramble_slice(line_addr, &mut payload);
                 let block = self
                     .engine()
                     .decompress(&CompressionOutcome::Compressed(Compressed::from_parts(
-                        algorithm, payload,
+                        algorithm, &payload,
                     )));
                 self.stats.compressed_reads += 1;
                 (

@@ -101,6 +101,16 @@ impl SubBank {
         self.row_open(row) && now >= self.next_wr
     }
 
+    /// The earliest cycle a column READ may issue (assuming the row is open).
+    pub fn read_ready_at(&self) -> u64 {
+        self.next_rd
+    }
+
+    /// The earliest cycle a column WRITE may issue (assuming the row is open).
+    pub fn write_ready_at(&self) -> u64 {
+        self.next_wr
+    }
+
     /// Issues a column READ at `now`.
     pub fn read(&mut self, now: u64, t: &Timing) {
         self.next_pre = self.next_pre.max(now + t.t_rtp);

@@ -214,6 +214,21 @@ impl Channel {
         (self.read_q.len(), self.write_q.len())
     }
 
+    /// Whether [`enqueue`](Channel::enqueue) would succeed for `req` right
+    /// now, without mutating anything. This is *not* the same as the queue
+    /// having a free slot: reads forward from the write queue and writes
+    /// coalesce into it, and both succeed even when the target queue is full.
+    pub fn would_accept(&self, req: &MemRequest) -> bool {
+        let hits_write_q = self
+            .write_q
+            .iter()
+            .any(|p| p.req.line_addr == req.line_addr);
+        match req.kind {
+            AccessKind::Read => hits_write_q || self.can_accept_read(),
+            AccessKind::Write => hits_write_q || self.can_accept_write(),
+        }
+    }
+
     /// Enqueues a request.
     ///
     /// Reads that hit a queued write are forwarded and complete immediately.
@@ -298,8 +313,16 @@ impl Channel {
         self.power.reset();
     }
 
-    /// Advances one bus cycle.
-    pub fn tick(&mut self) {
+    /// Advances one bus cycle. Returns `true` when the cycle changed any
+    /// *scheduling* state (refreshed, issued a command, or flipped the
+    /// drain mode) — i.e. when a cached
+    /// [`next_sched_event`](Channel::next_sched_event) bound must be
+    /// discarded. Burst retirement deliberately does **not** count: queues
+    /// only shrink at CAS-issue time and all timing registers are written
+    /// at issue, so retiring data changes neither command legality nor
+    /// enqueue outcomes (retires are tracked separately via
+    /// [`next_retire`](Channel::next_retire)).
+    pub fn tick(&mut self) -> bool {
         self.now += 1;
         let now = self.now;
 
@@ -322,10 +345,41 @@ impl Channel {
 
         // Refresh management consumes the command bus when it acts.
         if self.manage_refresh(now) {
-            return;
+            return true;
         }
 
-        self.issue(now);
+        self.issue(now)
+    }
+
+    /// Advances one bus cycle executing only burst retirement (plus the
+    /// background-power and drain-cycle accounting every cycle performs).
+    /// Valid only when the caller knows from a cached
+    /// [`next_sched_event`](Channel::next_sched_event) bound that no
+    /// refresh, command issue, or drain-mode flip can occur this cycle —
+    /// then the full [`tick`](Channel::tick) would do exactly this.
+    pub fn tick_retire_only(&mut self) {
+        debug_assert!(
+            self.next_sched_event() > self.now + 1,
+            "tick_retire_only would skip a scheduler event"
+        );
+        self.now += 1;
+        let now = self.now;
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                let (finish, req, row_hit) = self.in_flight.swap_remove(i);
+                self.record_completion(req, finish, row_hit);
+            } else {
+                i += 1;
+            }
+        }
+        for r in 0..self.ranks.len() {
+            let active = self.ranks[r].open_sub_banks > 0;
+            self.power.on_background(1, active);
+        }
+        if self.sticky_drain || (self.read_q.is_empty() && !self.write_q.is_empty()) {
+            self.stats.drain_cycles += 1;
+        }
     }
 
     /// Fast-forwards an idle channel to `target`, accounting refreshes and
@@ -354,6 +408,263 @@ impl Channel {
             self.power.on_background(span, false);
         }
         self.now = target;
+    }
+
+    /// The earliest future cycle at which [`tick`](Channel::tick) could do
+    /// anything other than accrue background power: retire an in-flight
+    /// burst, service a refresh, flip the write-drain mode, or issue a
+    /// CAS/ACT/PRE for a queued request. The min of
+    /// [`next_sched_event`](Channel::next_sched_event) and
+    /// [`next_retire`](Channel::next_retire).
+    pub fn next_event(&self) -> u64 {
+        self.next_sched_event().min(self.next_retire())
+    }
+
+    /// The earliest future cycle at which an in-flight burst retires or a
+    /// buffered completion (forwarded read) is ready to drain. Unlike the
+    /// scheduling bound this needs no scan invalidation: it only ever
+    /// changes when a CAS issues (push) or a burst retires (pop), both of
+    /// which happen on executed ticks.
+    pub fn next_retire(&self) -> u64 {
+        // Forwarded reads buffer a completion for the next tick.
+        if !self.completed.is_empty() {
+            return self.now + 1;
+        }
+        let mut horizon = u64::MAX;
+        for &(finish, ..) in &self.in_flight {
+            horizon = horizon.min(finish);
+        }
+        horizon.max(self.now + 1)
+    }
+
+    /// The earliest future cycle at which the *scheduler* could act:
+    /// service a refresh, flip the write-drain mode, or issue a CAS/ACT/PRE
+    /// for a queued request. Burst retirement is deliberately excluded
+    /// (see [`next_retire`](Channel::next_retire)); a cached value of this
+    /// bound stays valid across retire-only cycles and is invalidated only
+    /// by [`tick`](Channel::tick) returning `true` or by an enqueue.
+    ///
+    /// The contract is one-sided: the returned cycle may be *earlier* than
+    /// the first real event (the caller just ticks and re-asks, degrading
+    /// toward the per-cycle engine), but it must never be later — every
+    /// cycle strictly between `now` and the returned value must be a no-op
+    /// tick. All scheduler gates are of the form `now >= X` over state that
+    /// is frozen while no command issues, so the earliest legal issue cycle
+    /// for each queued request is an exact `max` of its gates.
+    pub fn next_sched_event(&self) -> u64 {
+        let now = self.now;
+        let soon = now + 1;
+        let mut horizon = u64::MAX;
+        for rank in &self.ranks {
+            // A due refresh precharges/refreshes on the command bus right
+            // away; don't model its sub-steps, just fall back to ticking.
+            if rank.refresh_due(now) {
+                return soon;
+            }
+            horizon = horizon.min(rank.next_refresh_due);
+        }
+        // Never skip across a write-drain mode transition: `issue` mutates
+        // `sticky_drain` and counts episodes there. Queue lengths are frozen
+        // during a no-op span, so the next tick's decision is computable.
+        let next_sticky = if self.sticky_drain {
+            self.write_q.len() > self.cfg.write_low_watermark
+        } else {
+            self.write_q.len() >= self.cfg.write_high_watermark
+        };
+        if next_sticky != self.sticky_drain {
+            return soon;
+        }
+        let writes = next_sticky || (self.read_q.is_empty() && !self.write_q.is_empty());
+        let q = if writes { &self.write_q } else { &self.read_q };
+        if q.is_empty() {
+            return horizon;
+        }
+        // Anti-starvation mirror of `issue_from`: once the oldest read
+        // crosses STARVATION_AGE it is served exclusively, so the crossing
+        // itself is an event, and past it only that read's gates matter.
+        let mut starving = None;
+        if !writes {
+            if let Some((i, p)) = self
+                .read_q
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.req.arrival)
+            {
+                if now.saturating_sub(p.req.arrival) > STARVATION_AGE {
+                    starving = Some(i);
+                } else {
+                    horizon = horizon.min(p.req.arrival + STARVATION_AGE + 1);
+                }
+            }
+        }
+        let candidates = match starving {
+            Some(i) => i..i + 1,
+            None => 0..q.len(),
+        };
+        for i in candidates {
+            let ready = self.candidate_ready_at(&q[i], writes, starving.is_some());
+            // A gate already satisfied means "issuable next tick" (this
+            // tick's single command slot may have gone to someone else).
+            horizon = horizon.min(ready.max(soon));
+            if horizon == soon {
+                break;
+            }
+        }
+        horizon
+    }
+
+    /// Tightens a still-valid scheduling bound after a successful
+    /// [`enqueue`](Channel::enqueue) of `req`, without rescanning the
+    /// queues. An enqueue can only *add* scheduling opportunities (the new
+    /// candidate itself, a drain-mode flip it triggers) or remove them
+    /// (extra row protection, a served-queue switch) — and removed
+    /// opportunities merely leave the old bound early, which the one-sided
+    /// contract allows. So the exact update is
+    /// `min(old, flip term, new candidate's ready, starvation crossing)`.
+    pub fn bound_with_enqueued(&self, old: u64, req: &MemRequest) -> u64 {
+        let now = self.now;
+        let soon = now + 1;
+        // Did this enqueue arm a drain-mode flip for the next tick?
+        let next_sticky = if self.sticky_drain {
+            self.write_q.len() > self.cfg.write_low_watermark
+        } else {
+            self.write_q.len() >= self.cfg.write_high_watermark
+        };
+        if next_sticky != self.sticky_drain {
+            return soon;
+        }
+        let writes = next_sticky || (self.read_q.is_empty() && !self.write_q.is_empty());
+        let q = match req.kind {
+            AccessKind::Write => &self.write_q,
+            AccessKind::Read => &self.read_q,
+        };
+        // A forwarded read touches no queue (its completion is tracked by
+        // `next_retire`), and a request whose queue is not being served
+        // adds no earlier opportunity: it becomes servable only after an
+        // issue or flip, both of which re-derive the bound anyway.
+        let served = (req.kind == AccessKind::Write) == writes;
+        if !served {
+            return old;
+        }
+        let Some(p) = q.iter().find(|p| p.req.id == req.id) else {
+            return old;
+        };
+        let starving = req.kind == AccessKind::Read
+            && now.saturating_sub(req.arrival) > STARVATION_AGE;
+        let mut bound = old.min(self.candidate_ready_at(p, writes, starving).max(soon));
+        if req.kind == AccessKind::Read {
+            // The new read may one day cross the anti-starvation age and
+            // grab exclusive service — that crossing is an event.
+            bound = bound.min((req.arrival + STARVATION_AGE + 1).max(soon));
+        }
+        bound
+    }
+
+    /// The earliest cycle at which any of the three scheduler passes could
+    /// issue a command for `p`, or `u64::MAX` when `p` can make no progress
+    /// until some other event changes the machine state.
+    fn candidate_ready_at(&self, p: &Pending, writes: bool, starving: bool) -> u64 {
+        let t = self.cfg.timing;
+        let rank = &self.ranks[p.loc.rank];
+        let bank = p.loc.flat_bank(&self.cfg);
+        let mask = p.req.width.mask();
+        // Every pass is blocked while the rank refreshes.
+        let gate = rank.refresh_until;
+        let mut ready = u64::MAX;
+
+        // Pass 1 (CAS): legal once every masked sub-bank has the row open
+        // and the column/bus timers have expired.
+        let mut all_open = true;
+        let mut cas = gate;
+        for s in (0..self.cfg.subranks).filter(|s| mask & (1 << *s) != 0) {
+            let sb = rank.sub_bank(bank, s);
+            if !sb.row_open(p.loc.row) {
+                all_open = false;
+                break;
+            }
+            cas = cas.max(if writes {
+                sb.write_ready_at().max(rank.bus_write_ready_at(s))
+            } else {
+                sb.read_ready_at().max(rank.bus_read_ready_at(s))
+            });
+        }
+        if all_open {
+            ready = ready.min(cas);
+        }
+
+        // Pass 2 (ACT): legal once every masked sub-bank that lacks the row
+        // is idle and clears tRC/tRP/tRRD/tFAW. A sub-bank holding a
+        // *different* row blocks the ACT until a PRE (pass 3) closes it.
+        let mut any_needed = false;
+        let mut blocked = false;
+        let mut act = gate;
+        for s in (0..self.cfg.subranks).filter(|s| mask & (1 << *s) != 0) {
+            let sb = rank.sub_bank(bank, s);
+            if sb.row_open(p.loc.row) {
+                continue;
+            }
+            any_needed = true;
+            if matches!(sb.state(), crate::bank::RowState::Active { .. }) {
+                blocked = true;
+                break;
+            }
+            act = act
+                .max(sb.activate_ready_at())
+                .max(rank.act_window_ready_at(s, &t));
+        }
+        if any_needed && !blocked {
+            ready = ready.min(act);
+        }
+
+        // Pass 3 (PRE): legal once every conflicting masked sub-bank clears
+        // tRAS/tRTP/tWR. Row protection (`unprotected_mask`) depends only on
+        // queue contents, which are frozen during a no-op span, so a fully
+        // protected conflict contributes no bound — it unblocks via the
+        // protector's own CAS, which is bounded above.
+        let mut conflict_mask = 0u8;
+        let mut pre = gate;
+        for s in (0..self.cfg.subranks).filter(|s| mask & (1 << *s) != 0) {
+            let sb = rank.sub_bank(bank, s);
+            if let crate::bank::RowState::Active { row } = sb.state() {
+                if row != p.loc.row {
+                    conflict_mask |= 1 << s;
+                    pre = pre.max(sb.precharge_ready_at());
+                }
+            }
+        }
+        if conflict_mask != 0
+            && (starving
+                || self.unprotected_mask(p.loc.rank, bank, conflict_mask, writes, p.req.arrival)
+                    != 0)
+        {
+            ready = ready.min(pre);
+        }
+
+        ready
+    }
+
+    /// Advances `span` cycles in bulk, replaying exactly the side effects
+    /// the per-cycle engine would have produced over a span of no-op ticks:
+    /// background power per rank and write-drain cycle accounting. The
+    /// caller must guarantee (via [`next_event`](Channel::next_event)) that
+    /// no command, completion, refresh, or drain-mode flip falls inside the
+    /// span.
+    pub fn advance_noop(&mut self, span: u64) {
+        debug_assert!(
+            self.next_event() > self.now + span,
+            "advance_noop would skip over a scheduler event"
+        );
+        if span == 0 {
+            return;
+        }
+        for r in 0..self.ranks.len() {
+            let active = self.ranks[r].open_sub_banks > 0;
+            self.power.on_background(span, active);
+        }
+        if self.sticky_drain || (self.read_q.is_empty() && !self.write_q.is_empty()) {
+            self.stats.drain_cycles += span;
+        }
+        self.now += span;
     }
 
     fn record_completion(&mut self, req: MemRequest, finish: u64, row_hit: bool) {
@@ -419,7 +730,7 @@ impl Channel {
         self.sticky_drain || (self.read_q.is_empty() && !self.write_q.is_empty())
     }
 
-    fn issue(&mut self, now: u64) {
+    fn issue(&mut self, now: u64) -> bool {
         let was = self.sticky_drain;
         let writes = self.drain_writes();
         if writes {
@@ -428,11 +739,14 @@ impl Channel {
         if self.sticky_drain && !was {
             self.stats.drain_episodes += 1;
         }
-        if writes {
-            self.issue_from(now, true);
+        let issued = if writes {
+            self.issue_from(now, true)
         } else if !self.read_q.is_empty() {
-            self.issue_from(now, false);
-        }
+            self.issue_from(now, false)
+        } else {
+            false
+        };
+        issued || self.sticky_drain != was
     }
 
 
@@ -475,7 +789,7 @@ impl Channel {
         out
     }
 
-    fn issue_from(&mut self, now: u64, writes: bool) {
+    fn issue_from(&mut self, now: u64, writes: bool) -> bool {
         let t = self.cfg.timing;
 
         // Anti-starvation: when the oldest *read* is too old, serve it
@@ -496,9 +810,9 @@ impl Channel {
         // a ready CAS implies the row is open).
         let cas_idx = {
             let q = if writes { &self.write_q } else { &self.read_q };
-            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
-                Some(i) => Box::new(std::iter::once(i)),
-                None => Box::new(0..q.len()),
+            let candidates = match starving {
+                Some(i) => i..i + 1,
+                None => 0..q.len(),
             };
             let mut found = None;
             for i in candidates {
@@ -550,15 +864,15 @@ impl Channel {
             self.stats.bytes += bytes;
             self.stats.busy_bus_cycles += t.t_burst * mask.count_ones() as u64;
             self.in_flight.push((finish, p.req, !p.needed_act));
-            return;
+            return true;
         }
 
         // Pass 2: ACT for the oldest request that needs one.
         let act_idx = {
             let q = if writes { &self.write_q } else { &self.read_q };
-            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
-                Some(i) => Box::new(std::iter::once(i)),
-                None => Box::new(0..q.len()),
+            let candidates = match starving {
+                Some(i) => i..i + 1,
+                None => 0..q.len(),
             };
             let mut found = None;
             for i in candidates {
@@ -590,7 +904,7 @@ impl Channel {
             let opened = (rank.open_sub_banks - before) as u32;
             self.power.on_activate(opened * 4);
             self.stats.activates += 1;
-            return;
+            return true;
         }
 
         // Pass 3: PRE for the oldest request blocked by a row conflict —
@@ -599,9 +913,9 @@ impl Channel {
         // half- and full-width streams share a bank).
         let pre = {
             let q = if writes { &self.write_q } else { &self.read_q };
-            let candidates: Box<dyn Iterator<Item = usize>> = match starving {
-                Some(i) => Box::new(std::iter::once(i)),
-                None => Box::new(0..q.len()),
+            let candidates = match starving {
+                Some(i) => i..i + 1,
+                None => 0..q.len(),
             };
             let mut found = None;
             for i in candidates {
@@ -640,6 +954,8 @@ impl Channel {
             }
             self.ranks[rank_idx].precharge(now, bank, mask, &t);
             self.stats.precharges += 1;
+            return true;
         }
+        false
     }
 }

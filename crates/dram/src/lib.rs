@@ -48,6 +48,16 @@ pub struct MemorySystem {
     cfg: DramConfig,
     mapping: AddressMapping,
     channels: Vec<Channel>,
+    /// Per-channel cached [`Channel::next_sched_event`] bound for the
+    /// event engine (`0` = unknown). A bound is an absolute cycle, so it
+    /// stays valid across no-op *and* retire-only cycles; it is discarded
+    /// whenever its channel's scheduler acts or it accepts a request.
+    sched_bounds: Vec<u64>,
+    /// Bumped on every queue/bank state mutation (scheduler work or an
+    /// accepted request; retires excluded). Lets callers memoize decisions
+    /// that only depend on queue/bank state, e.g. whether a retried
+    /// request could enqueue.
+    mutation_gen: u64,
 }
 
 impl MemorySystem {
@@ -59,6 +69,8 @@ impl MemorySystem {
             channels: (0..cfg.channels)
                 .map(|i| Channel::new(i, cfg, power))
                 .collect(),
+            sched_bounds: vec![0; cfg.channels],
+            mutation_gen: 0,
         }
     }
 
@@ -93,13 +105,57 @@ impl MemorySystem {
     /// Returns [`QueueFull`] when the target channel's queue is full.
     pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFull> {
         let ch = self.channel_of(req.line_addr);
-        self.channels[ch].enqueue(req)
+        let r = self.channels[ch].enqueue(req);
+        if r.is_ok() {
+            // Tighten the cached scheduling bound in O(1) instead of
+            // invalidating it: the only new opportunities an enqueue can
+            // introduce are the new candidate itself and a drain flip
+            // (see [`Channel::bound_with_enqueued`]).
+            let b = self.sched_bounds[ch];
+            if b != 0 {
+                self.sched_bounds[ch] = self.channels[ch].bound_with_enqueued(b, &req);
+            }
+            self.mutation_gen += 1;
+        }
+        r
     }
 
     /// Advances every channel one bus cycle.
     pub fn tick(&mut self) {
         for ch in &mut self.channels {
             ch.tick();
+        }
+    }
+
+    /// Advances every channel one bus cycle, skipping the FR-FCFS
+    /// scheduler for channels whose cached
+    /// [`Channel::next_sched_event`] bound shows it cannot act this
+    /// cycle. Behavior is bit-identical to [`tick`](Self::tick); only the
+    /// work done differs. Three per-channel fast paths, cheapest first:
+    ///
+    /// * bound in the future, nothing retiring — pure no-op accounting;
+    /// * bound in the future, a burst retiring — retire without the
+    ///   scheduler scan ([`Channel::tick_retire_only`]; retirement cannot
+    ///   change command legality or enqueue outcomes, so the bound and
+    ///   `mutation_gen` survive);
+    /// * otherwise a full [`Channel::tick`]; if the scheduler acted the
+    ///   bound is discarded (recomputed lazily), else the failed scan's
+    ///   cycle establishes a fresh bound.
+    pub fn tick_event(&mut self) {
+        for (ch, bound) in self.channels.iter_mut().zip(&mut self.sched_bounds) {
+            let soon = ch.now() + 1;
+            if *bound > soon {
+                if ch.next_retire() <= soon {
+                    ch.tick_retire_only();
+                } else {
+                    ch.advance_noop(1);
+                }
+            } else if ch.tick() {
+                *bound = 0;
+                self.mutation_gen += 1;
+            } else {
+                *bound = ch.next_sched_event();
+            }
         }
     }
 
@@ -131,6 +187,63 @@ impl MemorySystem {
         for ch in &mut self.channels {
             ch.advance_idle_to(target);
         }
+    }
+
+    /// The earliest future cycle at which any channel could do real work
+    /// (see [`Channel::next_event`]); `u64::MAX` when nothing is pending.
+    pub fn next_event(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(Channel::next_event)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Like [`next_event`](Self::next_event) but with the scheduling part
+    /// served from the per-channel bound cache maintained by
+    /// [`tick_event`](Self::tick_event). A channel whose bound is unknown
+    /// (its scheduler just acted, or it accepted a request) reports "next
+    /// cycle" instead of paying a scan: mid-burst the next tick runs in
+    /// full anyway and would invalidate a freshly computed bound
+    /// immediately. The first post-burst tick that fails to issue
+    /// establishes the real bound as a side effect, and only then does
+    /// skipping resume. The retire part ([`Channel::next_retire`]) is
+    /// cheap and always fresh.
+    pub fn next_event_cached(&self) -> u64 {
+        let mut min = u64::MAX;
+        for (ch, bound) in self.channels.iter().zip(&self.sched_bounds) {
+            if *bound == 0 {
+                return ch.now() + 1;
+            }
+            min = min.min(*bound).min(ch.next_retire());
+        }
+        min
+    }
+
+    /// A counter bumped on every queue/bank state mutation (scheduler
+    /// work in [`tick_event`](Self::tick_event), or an accepted request).
+    /// While it is unchanged, enqueue outcomes — and anything else that
+    /// depends only on queue and bank state — are frozen. Burst
+    /// retirement does not bump it: retiring frees no queue slot (slots
+    /// free at CAS-issue time), so it cannot change an enqueue outcome.
+    pub fn mutation_gen(&self) -> u64 {
+        self.mutation_gen
+    }
+
+    /// Advances all channels `span` cycles in bulk. The caller must have
+    /// verified via [`next_event`](MemorySystem::next_event) that the span
+    /// contains no events on any channel. Cached event bounds are absolute
+    /// cycle numbers, so they remain valid across the span.
+    pub fn advance_noop(&mut self, span: u64) {
+        for ch in &mut self.channels {
+            ch.advance_noop(span);
+        }
+    }
+
+    /// Whether the owning channel would accept `req` right now (including
+    /// the forwarding/coalescing fast paths that succeed on full queues).
+    pub fn would_accept(&self, req: &MemRequest) -> bool {
+        self.channels[self.channel_of(req.line_addr)].would_accept(req)
     }
 
     /// Aggregated statistics across channels.

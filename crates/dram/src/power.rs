@@ -113,10 +113,18 @@ impl EnergyBreakdown {
 }
 
 /// Converts command events into energy using [`PowerParams`].
+///
+/// Background energy is tracked as *integer cycle counters* rather than an
+/// incrementally-summed f64: the event engine accounts thousands of skipped
+/// cycles in one call, and `n` one-cycle f64 additions do not round the same
+/// way as one `n`-cycle addition. Counting cycles and multiplying once in
+/// [`PowerModel::energy`] makes both engines bit-identical.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PowerModel {
     params: PowerParams,
     energy: EnergyBreakdown,
+    bg_active_cycles: u64,
+    bg_idle_cycles: u64,
 }
 
 impl PowerModel {
@@ -125,17 +133,26 @@ impl PowerModel {
         Self {
             params,
             energy: EnergyBreakdown::default(),
+            bg_active_cycles: 0,
+            bg_idle_cycles: 0,
         }
     }
 
     /// The accumulated energy so far.
     pub fn energy(&self) -> EnergyBreakdown {
-        self.energy
+        let p = &self.params;
+        let per_cycle = p.vdd * p.cycle_ns * p.chips_per_rank as f64;
+        let mut e = self.energy;
+        e.background_pj = p.idd3n * per_cycle * self.bg_active_cycles as f64
+            + p.idd2n * per_cycle * self.bg_idle_cycles as f64;
+        e
     }
 
     /// Resets the accumulator (e.g. after warm-up).
     pub fn reset(&mut self) {
         self.energy = EnergyBreakdown::default();
+        self.bg_active_cycles = 0;
+        self.bg_idle_cycles = 0;
     }
 
     /// Records an ACT(+eventual PRE) engaging `chips` chips.
@@ -166,12 +183,14 @@ impl PowerModel {
     }
 
     /// Records `cycles` of background time with `active` indicating whether
-    /// any bank held an open row.
+    /// any bank held an open row. Calling this once with `n` cycles is
+    /// exactly equivalent to `n` one-cycle calls.
     pub fn on_background(&mut self, cycles: u64, active: bool) {
-        let p = &self.params;
-        let idd = if active { p.idd3n } else { p.idd2n };
-        self.energy.background_pj +=
-            idd * p.vdd * p.cycle_ns * cycles as f64 * p.chips_per_rank as f64;
+        if active {
+            self.bg_active_cycles += cycles;
+        } else {
+            self.bg_idle_cycles += cycles;
+        }
     }
 }
 
@@ -219,6 +238,24 @@ mod tests {
         let total = e.act_pre_pj + e.read_pj + e.write_pj + e.refresh_pj + e.background_pj + e.io_pj;
         assert!((e.total_pj() - total).abs() < 1e-9);
         assert!(e.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn bulk_background_is_bit_identical_to_per_cycle() {
+        let mut bulk = PowerModel::new(PowerParams::ddr4_1600());
+        let mut step = PowerModel::new(PowerParams::ddr4_1600());
+        bulk.on_background(977, true);
+        bulk.on_background(1231, false);
+        for _ in 0..977 {
+            step.on_background(1, true);
+        }
+        for _ in 0..1231 {
+            step.on_background(1, false);
+        }
+        assert_eq!(
+            bulk.energy().background_pj.to_bits(),
+            step.energy().background_pj.to_bits()
+        );
     }
 
     #[test]

@@ -215,6 +215,26 @@ impl Rank {
         }
     }
 
+    /// The earliest cycle the sub-rank `s` data bus accepts another READ.
+    pub fn bus_read_ready_at(&self, s: usize) -> u64 {
+        self.bus_next_rd[s]
+    }
+
+    /// The earliest cycle the sub-rank `s` data bus accepts another WRITE.
+    pub fn bus_write_ready_at(&self, s: usize) -> u64 {
+        self.bus_next_wr[s]
+    }
+
+    /// The earliest cycle an ACT on sub-rank `s` clears tRRD and tFAW
+    /// (bank-level tRC/tRP gates live in the sub-bank).
+    pub fn act_window_ready_at(&self, s: usize, t: &Timing) -> u64 {
+        let mut ready = self.next_act_rrd[s];
+        if self.act_window_len[s] == 4 {
+            ready = ready.max(self.act_window[s][0] + t.t_faw);
+        }
+        ready
+    }
+
     /// Returns the mask of sub-banks (across all banks) that still hold an
     /// open row — these must be precharged before REF.
     pub fn any_bank_open(&self) -> bool {

@@ -62,6 +62,39 @@ impl core::fmt::Display for UnknownStrategy {
 
 impl std::error::Error for UnknownStrategy {}
 
+/// Which main-loop engine advances simulated time. Both produce
+/// bit-identical [`RunReport`](crate::RunReport)s (asserted by the
+/// differential tests in `crates/sim/tests/`); they differ only in
+/// wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Poll every bus cycle — the reference engine.
+    Cycle,
+    /// Skip straight to the next cycle at which anything can change
+    /// (DRAM command legality, burst retirement, refresh, core
+    /// retire/issue, delayed releases, retry acceptance).
+    #[default]
+    Event,
+}
+
+impl EngineKind {
+    /// Reads `ATTACHE_ENGINE` (`cycle` or `event`); unset or unparsable
+    /// values fall back to [`EngineKind::Event`] with a warning on stderr
+    /// (once).
+    pub fn from_env() -> Self {
+        static CHOICE: std::sync::OnceLock<EngineKind> = std::sync::OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("ATTACHE_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("cycle") => EngineKind::Cycle,
+            Ok(v) if v.eq_ignore_ascii_case("event") => EngineKind::Event,
+            Ok(v) => {
+                eprintln!("warning: ATTACHE_ENGINE={v:?} is not \"cycle\" or \"event\"; using the event engine");
+                EngineKind::Event
+            }
+            Err(_) => EngineKind::Event,
+        })
+    }
+}
+
 /// Core-model parameters (Table II: 8 OoO cores, 4 GHz, 4-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -121,6 +154,9 @@ pub struct SimConfig {
     /// CID width in bits for BLEM's metadata header (the paper evaluates
     /// 14 bits + 1 algorithm bit; Table I explores 13..=15).
     pub cid_bits: u8,
+    /// Main-loop engine (bit-identical results either way; see
+    /// [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -139,6 +175,7 @@ impl SimConfig {
             warmup_instructions_per_core: 200_000,
             store_version_salt: true,
             cid_bits: 14,
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -152,6 +189,13 @@ impl SimConfig {
     pub fn with_instructions(mut self, measured: u64, warmup: u64) -> Self {
         self.instructions_per_core = measured;
         self.warmup_instructions_per_core = warmup;
+        self
+    }
+
+    /// Same configuration with an explicit main-loop engine (overriding
+    /// whatever `ATTACHE_ENGINE` selected).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }

@@ -61,12 +61,18 @@ pub struct Core {
     pub cpu_now: u64,
     /// Outstanding memory transactions (MSHR occupancy).
     pub outstanding: usize,
+    /// Most outstanding transactions this core will sustain: the MSHR
+    /// count, further capped by the workload's
+    /// [`mlp_limit`](attache_workloads::Profile::mlp_limit) (a serialized
+    /// pointer chase caps it at 1).
+    pub max_outstanding: usize,
 }
 
 impl Core {
     /// Creates a core running `trace` with its footprint based at
-    /// `base_line`.
-    pub fn new(id: usize, trace: TraceGenerator, base_line: u64) -> Self {
+    /// `base_line`, sustaining at most `max_outstanding` memory
+    /// transactions.
+    pub fn new(id: usize, trace: TraceGenerator, base_line: u64, max_outstanding: usize) -> Self {
         Self {
             id,
             trace,
@@ -76,6 +82,7 @@ impl Core {
             retired: 0,
             cpu_now: 0,
             outstanding: 0,
+            max_outstanding,
         }
     }
 
@@ -173,7 +180,7 @@ mod tests {
     use attache_workloads::Profile;
 
     fn core() -> Core {
-        Core::new(0, TraceGenerator::new(&Profile::stream(), 1), 0)
+        Core::new(0, TraceGenerator::new(&Profile::stream(), 1), 0, 8)
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod stats;
 pub mod strategy;
 pub mod system;
 
-pub use config::{CoreConfig, MetadataStrategyKind, SimConfig};
+pub use config::{CoreConfig, EngineKind, MetadataStrategyKind, SimConfig};
 pub use stats::{RunReport, BUS_CYCLE_NS};
 pub use strategy::{ReadPlan, ReqSpec, Strategy, StrategyStats, WritePlan};
 pub use system::System;

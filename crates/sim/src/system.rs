@@ -5,10 +5,11 @@ use attache_dram::{
     AccessKind, AddressMapping, Completion, MemRequest, MemorySystem,
 };
 use attache_workloads::{MixWorkload, Profile, TraceGenerator};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::backend::MemoryBackend;
-use crate::config::SimConfig;
+use crate::config::{EngineKind, SimConfig};
 use crate::core_model::{Core, MemState, Slot};
 use crate::stats::RunReport;
 use crate::strategy::{ReqSpec, Strategy};
@@ -25,6 +26,35 @@ enum TxnState {
     WaitData,
     /// Waiting for corrective / Replacement-Area follow-ups.
     WaitFollow { remaining: u32 },
+}
+
+/// A request waiting out a fixed lookup delay before submission. Ordered by
+/// release cycle, ties broken by request id, so the min-heap releases
+/// same-cycle entries in submission (FIFO) order.
+#[derive(Debug)]
+struct DelayedReq {
+    release_at: u64,
+    req: MemRequest,
+}
+
+impl PartialEq for DelayedReq {
+    fn eq(&self, other: &Self) -> bool {
+        self.release_at == other.release_at && self.req.id == other.req.id
+    }
+}
+
+impl Eq for DelayedReq {}
+
+impl PartialOrd for DelayedReq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DelayedReq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.release_at, self.req.id).cmp(&(other.release_at, other.req.id))
+    }
 }
 
 #[derive(Debug)]
@@ -53,10 +83,20 @@ pub struct System {
     txn_by_req: HashMap<u64, u64>,
     pending_lines: HashMap<u64, u64>,
     retry_q: VecDeque<MemRequest>,
-    delayed: Vec<(u64, MemRequest, Option<u64>)>,
+    delayed: BinaryHeap<Reverse<DelayedReq>>,
     next_txn: u64,
     next_req: u64,
     cpu_accum: u32,
+    /// Event engine only: per-core cached wake cycle — the earliest bus
+    /// cycle at which the core might do anything (`0` = unknown, forcing
+    /// a full CPU cycle and a recompute). Maintained by
+    /// [`bus_tick_event`](Self::bus_tick_event); the per-cycle engine
+    /// ignores it.
+    core_wake: Vec<u64>,
+    /// Event engine only: [`MemorySystem::mutation_gen`] at the last retry
+    /// flush pass. While unchanged, every retry would be rejected again,
+    /// so the pass is skipped.
+    flush_gen: u64,
 }
 
 // The experiment harness fans simulations out across worker threads, so a
@@ -128,6 +168,9 @@ impl System {
                     i,
                     TraceGenerator::new(p, seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9)),
                     backend.core_base(i),
+                    cfg.core
+                        .max_outstanding
+                        .min(p.mlp_limit.unwrap_or(usize::MAX)),
                 )
             })
             .collect();
@@ -142,14 +185,25 @@ impl System {
             txn_by_req: HashMap::new(),
             pending_lines: HashMap::new(),
             retry_q: VecDeque::new(),
-            delayed: Vec::new(),
+            delayed: BinaryHeap::new(),
             next_txn: 0,
             next_req: 0,
             cpu_accum: 0,
+            core_wake: vec![0; cfg.core.cores],
+            flush_gen: u64::MAX,
         }
     }
 
     fn run_until(&mut self, total_target: u64) {
+        match self.cfg.engine {
+            EngineKind::Cycle => self.run_until_cycle(total_target),
+            EngineKind::Event => self.run_until_event(total_target),
+        }
+    }
+
+    /// The per-cycle reference engine: one [`bus_tick`](Self::bus_tick) per
+    /// bus cycle, no skipping.
+    fn run_until_cycle(&mut self, total_target: u64) {
         let mut guard: u64 = 0;
         while self.cores.iter().map(|c| c.retired).sum::<u64>() < total_target {
             self.bus_tick();
@@ -158,6 +212,198 @@ impl System {
                 guard < 20_000_000_000,
                 "simulation failed to make progress"
             );
+        }
+    }
+
+    /// The event engine: after each real tick, jump straight to the next
+    /// cycle at which anything can change. Instructions retire only inside
+    /// `bus_tick` (skipped spans are quiescent by construction), so the
+    /// stop cycle — and every statistic — matches the per-cycle engine
+    /// exactly.
+    fn run_until_event(&mut self, total_target: u64) {
+        let mut guard: u64 = 0;
+        while self.cores.iter().map(|c| c.retired).sum::<u64>() < total_target {
+            self.bus_tick_event();
+            guard += 1;
+            assert!(
+                guard < 20_000_000_000,
+                "simulation failed to make progress"
+            );
+            // The reference engine stops on the exact tick that reaches the
+            // target; skipping ahead here would overshoot `mem.now()` past
+            // that cycle (shifting the warm-up boundary and the final
+            // bus-cycle count), so re-check before advancing.
+            if self.cores.iter().map(|c| c.retired).sum::<u64>() >= total_target {
+                break;
+            }
+            let now = self.mem.now();
+            let horizon = self.horizon(now);
+            debug_assert!(horizon > now, "horizon must be in the future");
+            if horizon > now + 1 {
+                self.advance(horizon - now - 1);
+            }
+        }
+    }
+
+    /// One bus cycle of the event engine. Bit-identical to
+    /// [`bus_tick`](Self::bus_tick), but every phase consults a cached
+    /// bound before doing work:
+    ///
+    /// * channels with a future [`next_event`](MemorySystem::next_event)
+    ///   bound skip their scheduler pass ([`MemorySystem::tick_event`]);
+    /// * retries are only re-attempted when queue/bank state has mutated
+    ///   since the last pass (`mutation_gen`) — enqueue outcomes are pure
+    ///   functions of that state, so a pass against frozen state is a
+    ///   guaranteed all-fail rotation, i.e. a no-op;
+    /// * cores sleeping until a cached wake cycle (`core_wake`) skip their
+    ///   CPU cycles entirely (each is provably a pure `cpu_now`
+    ///   increment). Wakes are invalidated whenever state they depend on
+    ///   can change: the waiter cores of a finishing transaction (ready
+    ///   data, MSHR release) and every core on a retry-queue shrink
+    ///   (issue-gate headroom). Cross-core coupling needs no wider
+    ///   invalidation: per-core footprints are disjoint, and the LLC/retry
+    ///   effects of one core's activity can only keep a blocked core
+    ///   blocked, never wake it mid-tick.
+    fn bus_tick_event(&mut self) {
+        self.mem.tick_event();
+        let completions = self.mem.drain_completions();
+        for c in completions {
+            // `finish_txn` invalidates the wakes of exactly the cores each
+            // completion can unblock.
+            self.on_completion(c);
+        }
+        self.release_delayed();
+        if !self.retry_q.is_empty() && self.mem.mutation_gen() != self.flush_gen {
+            let before = self.retry_q.len();
+            self.flush_retries();
+            self.flush_gen = self.mem.mutation_gen();
+            if self.retry_q.len() < before {
+                self.core_wake.fill(0);
+            }
+        }
+
+        self.cpu_accum += self.cfg.core.cpu_cycles_per_2_bus_cycles;
+        let now = self.mem.now();
+        while self.cpu_accum >= 2 {
+            self.cpu_accum -= 2;
+            let mut cores = std::mem::take(&mut self.cores);
+            for core in &mut cores {
+                if self.core_wake[core.id] > now {
+                    core.cpu_now += 1;
+                } else {
+                    self.cpu_cycle(core);
+                }
+            }
+            self.cores = cores;
+        }
+        for i in 0..self.cores.len() {
+            if self.core_wake[i] <= now {
+                let wake = self.core_horizon(&self.cores[i], now);
+                self.core_wake[i] = wake;
+            }
+        }
+    }
+
+    /// Skips `span` bus cycles known to be event-free: bulk-accounts DRAM
+    /// background power and drain-cycle statistics, and advances each
+    /// core's CPU clock by the cycles the per-cycle engine would have run
+    /// (all of them no-ops — every core is quiescent during the span).
+    fn advance(&mut self, span: u64) {
+        self.mem.advance_noop(span);
+        let total =
+            self.cpu_accum as u64 + self.cfg.core.cpu_cycles_per_2_bus_cycles as u64 * span;
+        let cpu_cycles = total / 2;
+        self.cpu_accum = (total % 2) as u32;
+        for core in &mut self.cores {
+            core.cpu_now += cpu_cycles;
+        }
+    }
+
+    /// The earliest future bus cycle at which the next bus tick would do
+    /// anything: a DRAM event (command legality, burst retirement, refresh,
+    /// drain-mode flip), a delayed request release, or a core that can
+    /// retire or issue — assembled entirely from the cached per-core wakes
+    /// and per-channel bounds.
+    ///
+    /// Underestimates are safe (the engine degrades toward per-cycle
+    /// polling); overestimates would change behavior, so every bound
+    /// mirrors its per-cycle gate exactly.
+    fn horizon(&mut self, now: u64) -> u64 {
+        let soon = now + 1;
+        let mut horizon = u64::MAX;
+        for &w in &self.core_wake {
+            debug_assert!(w > now, "stale core wake");
+            if w == soon {
+                return soon;
+            }
+            horizon = horizon.min(w);
+        }
+        if let Some(Reverse(d)) = self.delayed.peek() {
+            horizon = horizon.min(d.release_at.max(soon));
+        }
+        // No explicit retry term: a retried request can only become
+        // acceptable after a channel state mutation, and every mutation
+        // happens on a cycle the memory bound already covers.
+        horizon.min(self.mem.next_event_cached().max(soon))
+    }
+
+    /// When `core` can next make progress: refill the ROB, issue a stalled
+    /// memory op, or retire its head. `u64::MAX` means the core is blocked
+    /// on a memory event (tracked by the DRAM/txn horizons).
+    fn core_horizon(&self, core: &Core, now: u64) -> u64 {
+        let soon = now + 1;
+        if core.occupancy < self.cfg.core.rob_size {
+            return soon; // fill_rob will add instructions
+        }
+        // A stalled memory op that would issue now makes the core active.
+        for slot in &core.rob {
+            if let Slot::Mem {
+                line,
+                state: MemState::NeedIssue,
+                ..
+            } = slot
+            {
+                if self.llc.probe_line(*line)
+                    || (core.outstanding < core.max_outstanding
+                        && self.retry_q.len() < RETRY_CAP)
+                {
+                    return soon;
+                }
+            }
+        }
+        match core.rob.front() {
+            // Gaps retire unconditionally; an empty ROB is covered by the
+            // occupancy check above.
+            None | Some(Slot::Gap { .. }) => soon,
+            Some(Slot::Mem {
+                is_write, state, ..
+            }) => {
+                let retirable = if *is_write {
+                    *state != MemState::NeedIssue
+                } else {
+                    match state {
+                        MemState::Ready => true,
+                        MemState::WaitLlc(t) => *t <= core.cpu_now,
+                        _ => false,
+                    }
+                };
+                if retirable {
+                    return soon;
+                }
+                if let MemState::WaitLlc(t) = state {
+                    // The head retires during the CPU cycle that sees
+                    // `cpu_now >= t`, i.e. after d = t - cpu_now + 1 more
+                    // CPU cycles; each bus tick runs (accum + ratio)/2 of
+                    // them, so the first tick with ratio*n >= 2d - accum.
+                    let d = *t - core.cpu_now + 1;
+                    let ratio = self.cfg.core.cpu_cycles_per_2_bus_cycles as u64;
+                    let n = (2 * d - self.cpu_accum as u64).div_ceil(ratio);
+                    return now + n.max(1);
+                }
+                // WaitMem, or a blocked NeedIssue: woken by completions or
+                // queue-pressure changes, which are DRAM/retry events.
+                u64::MAX
+            }
         }
     }
 
@@ -239,8 +485,9 @@ impl System {
             });
         }
 
-        // LLC miss: need an MSHR and memory-queue headroom.
-        if core.outstanding >= self.cfg.core.max_outstanding || self.retry_q.len() >= RETRY_CAP {
+        // LLC miss: need an MSHR (capped by the workload's MLP limit) and
+        // memory-queue headroom.
+        if core.outstanding >= core.max_outstanding || self.retry_q.len() >= RETRY_CAP {
             return None;
         }
         if is_write {
@@ -315,7 +562,10 @@ impl System {
             self.txn_by_req.insert(id, t);
         }
         if delay > 0 {
-            self.delayed.push((self.mem.now() + delay, req, txn));
+            self.delayed.push(Reverse(DelayedReq {
+                release_at: self.mem.now() + delay,
+                req,
+            }));
         } else {
             self.try_submit(req);
         }
@@ -329,18 +579,13 @@ impl System {
     }
 
     fn release_delayed(&mut self) {
-        if self.delayed.is_empty() {
-            return;
-        }
         let now = self.mem.now();
-        let mut i = 0;
-        while i < self.delayed.len() {
-            if self.delayed[i].0 <= now {
-                let (_, req, _) = self.delayed.swap_remove(i);
-                self.try_submit(req);
-            } else {
-                i += 1;
+        while let Some(Reverse(d)) = self.delayed.peek() {
+            if d.release_at > now {
+                break;
             }
+            let Reverse(d) = self.delayed.pop().expect("peeked entry exists");
+            self.try_submit(d.req);
         }
     }
 
@@ -355,10 +600,9 @@ impl System {
     }
 
     fn on_completion(&mut self, c: Completion) {
-        let Some(&txn_id) = self.txn_by_req.get(&c.request.id) else {
+        let Some(txn_id) = self.txn_by_req.remove(&c.request.id) else {
             return; // untracked (writes, side traffic)
         };
-        self.txn_by_req.remove(&c.request.id);
         debug_assert_eq!(c.request.kind, AccessKind::Read);
         let Some(txn) = self.txns.get_mut(&txn_id) else {
             return;
@@ -400,6 +644,12 @@ impl System {
             self.pending_lines.remove(&txn.line);
         }
         for (core, counted) in txn.waiters {
+            // Invalidate the event engine's cached wake for exactly the
+            // cores this transaction touches: a ready slot or a freed MSHR
+            // can unblock them. No other core's gates can open here — the
+            // LLC fill happened at issue time, and per-core footprints are
+            // disjoint.
+            self.core_wake[core] = 0;
             if counted {
                 self.cores[core].complete_txn(txn_id);
             } else {

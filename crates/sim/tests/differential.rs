@@ -1,0 +1,181 @@
+//! Differential tests: the event engine must produce **bit-identical**
+//! `RunReport`s to the per-cycle reference engine — same cycle counts, same
+//! per-origin request counters, same energy breakdown to the last f64 bit.
+//!
+//! This is the contract that lets every figure binary default to the event
+//! engine: it is purely a wall-clock optimization, never a model change.
+
+use attache_sim::{EngineKind, MetadataStrategyKind, SimConfig, System};
+use attache_workloads::{mixes, AccessPattern, Category, DataProfile, Profile, Suite};
+
+const STRATEGIES: [MetadataStrategyKind; 4] = [
+    MetadataStrategyKind::Baseline,
+    MetadataStrategyKind::MetadataCache,
+    MetadataStrategyKind::Attache,
+    MetadataStrategyKind::Oracle,
+];
+
+fn quick(strategy: MetadataStrategyKind) -> SimConfig {
+    SimConfig::table2_baseline()
+        .with_strategy(strategy)
+        .with_instructions(6_000, 1_000)
+}
+
+/// Runs `profile` under both engines and asserts full `RunReport` equality
+/// (the report derives `PartialEq` over every counter and f64).
+fn assert_engines_agree(strategy: MetadataStrategyKind, profile: Profile, seed: u64) {
+    let mut cfg = quick(strategy);
+    cfg.engine = EngineKind::Cycle;
+    let cycle = System::run_rate_mode(&cfg, profile.clone(), seed);
+    cfg.engine = EngineKind::Event;
+    let event = System::run_rate_mode(&cfg, profile.clone(), seed);
+    assert_eq!(
+        cycle, event,
+        "engines disagree for {strategy} on {}",
+        profile.name
+    );
+    // f64 `==` admits -0.0 == 0.0; pin the energy to exact bit patterns.
+    assert_eq!(
+        cycle.energy.total_pj().to_bits(),
+        event.energy.total_pj().to_bits(),
+        "energy bits disagree for {strategy} on {}",
+        profile.name
+    );
+    assert_eq!(
+        cycle.energy.background_pj.to_bits(),
+        event.energy.background_pj.to_bits(),
+        "background energy bits disagree for {strategy} on {}",
+        profile.name
+    );
+}
+
+#[test]
+fn engines_agree_on_stream_all_strategies() {
+    for s in STRATEGIES {
+        assert_engines_agree(s, Profile::stream(), 7);
+    }
+}
+
+#[test]
+fn engines_agree_on_rand_all_strategies() {
+    for s in STRATEGIES {
+        assert_engines_agree(s, Profile::rand(), 11);
+    }
+}
+
+#[test]
+fn engines_agree_on_graph_all_strategies() {
+    let p = Profile::by_name("bc.kron").expect("catalog profile");
+    for s in STRATEGIES {
+        assert_engines_agree(s, p.clone(), 13);
+    }
+}
+
+#[test]
+fn engines_agree_on_pointer_chase() {
+    let p = Profile::by_name("mcf").expect("catalog profile");
+    assert_engines_agree(MetadataStrategyKind::Attache, p, 17);
+}
+
+#[test]
+fn engines_agree_on_serialized_chase_all_strategies() {
+    // CHASE spends most cycles with every subsystem quiescent — the
+    // deepest-skip regime, where an overestimated horizon would be
+    // most visible.
+    for s in STRATEGIES {
+        assert_engines_agree(s, Profile::chase(), 19);
+    }
+}
+
+#[test]
+fn event_engine_stops_on_the_target_tick() {
+    // Regression: the event loop must not skip ahead after the tick that
+    // reaches the retirement target. With a long warm-up the boundary tick
+    // is often followed by a quiescent span; overshooting it shifts the
+    // measured window and the final bus-cycle count by the skipped span.
+    let mut cfg = SimConfig::table2_baseline()
+        .with_strategy(MetadataStrategyKind::Baseline)
+        .with_instructions(6_000, 8_000);
+    cfg.engine = EngineKind::Cycle;
+    let cycle = System::run_rate_mode(&cfg, Profile::chase(), 42);
+    cfg.engine = EngineKind::Event;
+    let event = System::run_rate_mode(&cfg, Profile::chase(), 42);
+    assert_eq!(cycle, event, "engines disagree across a deep warm-up");
+}
+
+#[test]
+fn engines_agree_on_a_mix() {
+    let mix = mixes().remove(0);
+    let mut cfg = quick(MetadataStrategyKind::Attache).with_instructions(5_000, 1_000);
+    cfg.engine = EngineKind::Cycle;
+    let cycle = System::run_mix(&cfg, &mix, 3);
+    cfg.engine = EngineKind::Event;
+    let event = System::run_mix(&cfg, &mix, 3);
+    assert_eq!(cycle, event, "engines disagree on mix {}", mix.name);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest-style randomized profiles: splitmix64-driven generation of
+// profile parameters, so the engines are compared on configurations nobody
+// hand-picked.
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from the top 53 bits.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn random_profile(seed: u64) -> Profile {
+    let r0 = splitmix64(seed);
+    let r1 = splitmix64(r0);
+    let r2 = splitmix64(r1);
+    let r3 = splitmix64(r2);
+    let pattern = match r0 % 4 {
+        0 => AccessPattern::Stream,
+        1 => AccessPattern::Random,
+        2 => AccessPattern::graph(),
+        _ => AccessPattern::PointerChase {
+            locality: 0.5 + 0.4 * unit(r1),
+        },
+    };
+    let comp = unit(r2);
+    let data = if comp < 0.15 {
+        DataProfile::incompressible()
+    } else {
+        DataProfile::clustered(comp)
+    };
+    Profile {
+        name: "randomized",
+        suite: Suite::Synthetic,
+        category: Category::Compressible,
+        data,
+        pattern,
+        // 2-32 MiB footprints, 6-18 instructions per access.
+        footprint_lines: (2 << (r3 % 5)) * (1 << 20) / 64,
+        instructions_per_access: 6.0 + 12.0 * unit(splitmix64(r3)),
+        write_fraction: 0.1 + 0.3 * unit(splitmix64(r3 ^ 1)),
+        // Every third case throttles MLP (1-4 outstanding misses), so the
+        // serialized-core wake paths get differential coverage too.
+        mlp_limit: match splitmix64(r3 ^ 2) % 3 {
+            0 => Some(1 + (splitmix64(r3 ^ 3) % 4) as usize),
+            _ => None,
+        },
+    }
+}
+
+#[test]
+fn engines_agree_on_randomized_profiles() {
+    for case in 0..4u64 {
+        let profile = random_profile(0xA77A_C4E0 ^ case);
+        let strategy = STRATEGIES[(splitmix64(case) % 4) as usize];
+        assert_engines_agree(strategy, profile, 100 + case);
+    }
+}

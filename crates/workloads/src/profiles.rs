@@ -57,6 +57,12 @@ pub struct Profile {
     pub instructions_per_access: f64,
     /// Fraction of accesses that are stores.
     pub write_fraction: f64,
+    /// Cap on this workload's memory-level parallelism: the most
+    /// outstanding LLC misses one core will sustain (`None` = limited only
+    /// by the core's MSHRs). `Some(1)` models a fully serialized dependent
+    /// chain — each miss's address comes from the previous miss's data, as
+    /// in a linked-list traversal.
+    pub mlp_limit: Option<usize>,
 }
 
 const MB: u64 = (1 << 20) / 64; // lines per MiB
@@ -73,6 +79,7 @@ impl Profile {
             footprint_lines: 64 * MB,
             instructions_per_access: 12.0,
             write_fraction: 0.33,
+            mlp_limit: None,
         }
     }
 
@@ -88,12 +95,36 @@ impl Profile {
             footprint_lines: 32 * MB,
             instructions_per_access: 15.0,
             write_fraction: 0.30,
+            mlp_limit: None,
         }
     }
 
-    /// Looks a profile up by its figure name.
+    /// The CHASE synthetic: a fully serialized pointer chase (one
+    /// outstanding miss per core, `lat_mem_rd`-style). Not part of the
+    /// paper's figures — it is the latency-bound extreme used to exercise
+    /// the simulator itself, e.g. the event-engine benchmark, where long
+    /// dependent-miss stalls dominate.
+    pub fn chase() -> Self {
+        Profile {
+            name: "CHASE",
+            suite: Suite::Synthetic,
+            category: Category::Compressible,
+            data: DataProfile::clustered(0.55),
+            pattern: AccessPattern::PointerChase { locality: 0.1 },
+            footprint_lines: 32 * MB,
+            instructions_per_access: 25.0,
+            write_fraction: 0.05,
+            mlp_limit: Some(1),
+        }
+    }
+
+    /// Looks a profile up by its figure name. Covers the paper's rate-mode
+    /// catalog plus the simulator-only CHASE synthetic.
     pub fn by_name(name: &str) -> Option<Profile> {
-        all_rate_profiles().into_iter().find(|p| p.name == name)
+        all_rate_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .or_else(|| (name == "CHASE").then(Profile::chase))
     }
 
     /// Replaces the data profile with a weakly-clustered (mixed-page)
@@ -123,6 +154,7 @@ fn spec(
         footprint_lines: footprint_mb * MB,
         instructions_per_access: ipa,
         write_fraction: wf,
+        mlp_limit: None,
     }
 }
 
@@ -136,6 +168,7 @@ fn gap(name: &'static str, category: Category, comp: f64, footprint_mb: u64, ipa
         footprint_lines: footprint_mb * MB,
         instructions_per_access: ipa,
         write_fraction: wf,
+        mlp_limit: None,
     }
 }
 
@@ -234,6 +267,17 @@ mod tests {
         assert!(Profile::by_name("mcf").is_some());
         assert!(Profile::by_name("bc.kron").is_some());
         assert!(Profile::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn chase_is_serialized_and_not_in_the_figure_catalog() {
+        let chase = Profile::by_name("CHASE").expect("lookup works");
+        assert_eq!(chase.mlp_limit, Some(1));
+        assert!(all_rate_profiles().iter().all(|p| p.name != "CHASE"));
+        assert!(
+            all_rate_profiles().iter().all(|p| p.mlp_limit.is_none()),
+            "figure workloads keep full MSHR parallelism"
+        );
     }
 
     #[test]

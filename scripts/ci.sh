@@ -11,6 +11,16 @@ cargo build --release --workspace
 echo "=== cargo test (ATTACHE_QUICK=1) ==="
 ATTACHE_QUICK=1 cargo test -q --workspace --release
 
+# The differential suite compares the engines against each other, which
+# is engine-knob-independent — but every *other* integration test should
+# hold under whichever engine the environment selects, so run the full
+# suite's quick sim tests once per engine.
+echo "=== differential + sim tests under ATTACHE_ENGINE=cycle ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release
+
+echo "=== differential + sim tests under ATTACHE_ENGINE=event ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
