@@ -462,6 +462,57 @@ mod tests {
     }
 
     #[test]
+    fn changed_config_hash_misses_the_report_cache() {
+        // The memo must be keyed by the *full* job configuration: storing
+        // a report under one config and probing with a changed one must
+        // miss — both at the path level (different file) and at the
+        // content level (embedded canonical key rejects the stale file
+        // even if the paths ever collided).
+        let job = JobSpec::new(WorkloadRef::Rate("mcf".into()), MetadataStrategyKind::Attache);
+        let base = ExperimentConfig {
+            instructions: 300,
+            warmup: 0,
+            seed: 42,
+        };
+        let report = job.execute(&base);
+        let dir = std::env::temp_dir().join(format!(
+            "attache-grid-cache-test-{}",
+            std::process::id()
+        ));
+        let path = dir.join("report.report");
+        let key = job.cache_key(&base);
+        store_cached(&path, &report, &key);
+        assert_eq!(
+            load_cached(&path, &key),
+            Some(report),
+            "identical config must hit the memo (report roundtrips bit-exactly)"
+        );
+        for changed in [
+            ExperimentConfig { instructions: 600, warmup: 0, seed: 42 },
+            ExperimentConfig { instructions: 300, warmup: 100, seed: 42 },
+            ExperimentConfig { instructions: 300, warmup: 0, seed: 43 },
+        ] {
+            let changed_key = job.cache_key(&changed);
+            assert_ne!(key, changed_key, "config change must change the key");
+            assert_ne!(
+                job.cache_path(&base),
+                job.cache_path(&changed),
+                "config change must change the cache file"
+            );
+            assert!(
+                load_cached(&path, &changed_key).is_none(),
+                "a stored report must never satisfy a changed config"
+            );
+        }
+        // An override is part of the job identity, so it must re-key too.
+        let mut narrowed = job.clone();
+        narrowed.overrides.cid_bits = Some(10);
+        assert_ne!(key, narrowed.cache_key(&base));
+        assert_ne!(job.cache_path(&base), narrowed.cache_path(&base));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cross_is_workloads_major_per_strategy() {
         let w = [
             WorkloadRef::Rate("mcf".into()),

@@ -7,7 +7,8 @@
 //! are preferred over older row misses (FR-FCFS) with an age cap to prevent
 //! starvation.
 
-use crate::config::{AddressMapping, DramConfig, Location};
+use crate::config::{AddressMapping, DramConfig, Location, Timing};
+use crate::conformance::{ConformanceChecker, ConformanceStats, DramCommand};
 use crate::power::{PowerModel, PowerParams};
 use crate::rank::Rank;
 use crate::request::{AccessKind, Completion, MemRequest};
@@ -153,6 +154,13 @@ fn trace_enabled() -> bool {
     *FLAG.get_or_init(|| std::env::var("ATTACHE_TRACE").is_ok())
 }
 
+/// Protocol conformance auditing (set `ATTACHE_CONFORMANCE=1`): attaches a
+/// [`ConformanceChecker`] to every channel at construction. Read per call —
+/// not cached — so tests can toggle it between [`Channel::new`] calls.
+fn conformance_enabled() -> bool {
+    std::env::var("ATTACHE_CONFORMANCE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Age (bus cycles) past which the oldest read preempts row-hit-first order.
 const STARVATION_AGE: u64 = 1_536;
 
@@ -172,6 +180,8 @@ pub struct Channel {
     stats: ChannelStats,
     stats_base: u64,
     power: PowerModel,
+    /// Optional protocol auditor; a pure observer of the command stream.
+    auditor: Option<Box<ConformanceChecker>>,
 }
 
 impl Channel {
@@ -191,6 +201,37 @@ impl Channel {
             stats: ChannelStats::default(),
             stats_base: 0,
             power: PowerModel::new(power),
+            auditor: conformance_enabled().then(|| Box::new(ConformanceChecker::new(&cfg))),
+        }
+    }
+
+    /// Attaches a protocol auditor validating against `timing` — normally
+    /// the channel's own timing (zero violations expected), but tests pass
+    /// a perturbed reference to prove deliberate violations are caught.
+    pub fn attach_auditor(&mut self, timing: Timing) {
+        self.auditor = Some(Box::new(ConformanceChecker::with_timing(&self.cfg, timing)));
+    }
+
+    /// Audit counters of the attached auditor, if any.
+    pub fn conformance_stats(&self) -> Option<ConformanceStats> {
+        self.auditor.as_ref().map(|a| a.stats())
+    }
+
+    /// Runs one observed command past the auditor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any protocol violation: a command the scheduler issued
+    /// that the independent shadow model deems illegal is a simulator bug,
+    /// and continuing would produce silently wrong timing.
+    fn audit(&mut self, now: u64, rank: usize, cmd: DramCommand) {
+        if let Some(a) = self.auditor.as_mut() {
+            if let Err(v) = a.observe(now, rank, &cmd) {
+                panic!(
+                    "[attache-dram] channel {} rank {rank}: DRAM protocol violation: {v}",
+                    self.index
+                );
+            }
         }
     }
 
@@ -395,15 +436,22 @@ impl Channel {
         }
         let span = target - self.now;
         let t = self.cfg.timing;
-        for rank in &mut self.ranks {
-            let due = rank.next_refresh_due;
+        for r in 0..self.ranks.len() {
+            let due = self.ranks[r].next_refresh_due;
             if target >= due {
                 let n = (target - due) / t.t_refi + 1;
-                rank.bulk_refresh(n, &t);
+                self.ranks[r].bulk_refresh(n, &t);
                 for _ in 0..n {
                     self.power.on_refresh();
                 }
                 self.stats.refreshes += n;
+                if let Some(a) = self.auditor.as_mut() {
+                    // Mirror bulk_refresh's force_idle horizon: the last
+                    // refresh of the batch completes tRFC after it starts.
+                    let busy =
+                        self.ranks[r].next_refresh_due.saturating_sub(t.t_refi) + t.t_rfc;
+                    a.fast_forward_refresh(r, n, busy);
+                }
             }
             self.power.on_background(span, false);
         }
@@ -702,6 +750,7 @@ impl Channel {
                 if self.ranks[r].any_bank_open() {
                     if let Some((bank, mask)) = self.ranks[r].refresh_precharge_candidate(now) {
                         self.ranks[r].precharge(now, bank, mask, &t);
+                        self.audit(now, r, DramCommand::Precharge { bank, mask });
                         self.stats.precharges += 1;
                         return true;
                     }
@@ -709,6 +758,7 @@ impl Channel {
                     return false;
                 }
                 self.ranks[r].refresh(now, &t);
+                self.audit(now, r, DramCommand::Refresh);
                 self.power.on_refresh();
                 self.stats.refreshes += 1;
                 return true;
@@ -861,6 +911,12 @@ impl Channel {
                 self.power.on_read(chips, bytes);
                 now + t.t_cas + t.t_burst
             };
+            let cmd = if writes {
+                DramCommand::Write { bank, row: p.loc.row, mask }
+            } else {
+                DramCommand::Read { bank, row: p.loc.row, mask }
+            };
+            self.audit(now, p.loc.rank, cmd);
             self.stats.bytes += bytes;
             self.stats.busy_bus_cycles += t.t_burst * mask.count_ones() as u64;
             self.in_flight.push((finish, p.req, !p.needed_act));
@@ -902,6 +958,7 @@ impl Channel {
             let before = rank.open_sub_banks;
             rank.activate(now, bank, loc.row, mask, &t);
             let opened = (rank.open_sub_banks - before) as u32;
+            self.audit(now, loc.rank, DramCommand::Activate { bank, row: loc.row, mask });
             self.power.on_activate(opened * 4);
             self.stats.activates += 1;
             return true;
@@ -953,6 +1010,7 @@ impl Channel {
                 q[i].needed_act = true;
             }
             self.ranks[rank_idx].precharge(now, bank, mask, &t);
+            self.audit(now, rank_idx, DramCommand::Precharge { bank, mask });
             self.stats.precharges += 1;
             return true;
         }

@@ -33,12 +33,14 @@
 pub mod bank;
 pub mod channel;
 pub mod config;
+pub mod conformance;
 pub mod power;
 pub mod rank;
 pub mod request;
 
 pub use channel::{Channel, ChannelStats, QueueFull};
 pub use config::{AddressMapping, DramConfig, Location, Timing};
+pub use conformance::{ConformanceChecker, ConformanceStats, DramCommand, TimingViolation};
 pub use power::{EnergyBreakdown, PowerModel, PowerParams};
 pub use request::{AccessKind, AccessWidth, Completion, MemRequest, Origin, SubrankId};
 
@@ -77,6 +79,38 @@ impl MemorySystem {
     /// The configuration in use.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Attaches a protocol [`ConformanceChecker`] to every channel,
+    /// validating the issued command stream against the system's own
+    /// timing. Equivalent to constructing under `ATTACHE_CONFORMANCE=1`.
+    pub fn enable_conformance(&mut self) {
+        let timing = self.cfg.timing;
+        self.enable_conformance_with(timing);
+    }
+
+    /// Attaches auditors validating against an explicit reference
+    /// `timing` — the deliberate-violation test hook: a stricter
+    /// reference than the scheduler's own must make the auditor panic.
+    pub fn enable_conformance_with(&mut self, timing: Timing) {
+        for ch in &mut self.channels {
+            ch.attach_auditor(timing);
+        }
+    }
+
+    /// Aggregate audit counters across channels (`None` when no auditor
+    /// is attached).
+    pub fn conformance_stats(&self) -> Option<ConformanceStats> {
+        let per: Vec<ConformanceStats> = self
+            .channels
+            .iter()
+            .filter_map(|ch| ch.conformance_stats())
+            .collect();
+        if per.is_empty() {
+            None
+        } else {
+            Some(ConformanceStats::aggregate(&per))
+        }
     }
 
     /// The address mapping in use.

@@ -2,37 +2,26 @@
 //! never lose a request, latencies must respect physical floors, and the
 //! address mapping must be a bijection.
 //!
-//! Cases come from a seeded splitmix64 generator (no external
-//! property-testing crate), so the suite builds offline and each failing
-//! case is reproducible from its iteration index.
+//! Cases come from the shared seeded splitmix64 generator in
+//! `attache-testkit` (no external property-testing crate), so the suite
+//! builds offline and each failing case is reproducible from its iteration
+//! index. The seeds (30..=33) predate the testkit port; `width` consumes
+//! one draw exactly like the old `Gen::width` method did, so the streams
+//! (and any recorded failing-case indices) are unchanged.
 
 use attache_dram::{
     AccessKind, AccessWidth, AddressMapping, DramConfig, MemRequest, MemorySystem, Origin,
     PowerParams, SubrankId, Timing,
 };
+use attache_testkit::Gen;
 
-/// Deterministic case generator (splitmix64).
-struct Gen(u64);
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0123_4567_89AB_CDEF)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn width(&mut self) -> AccessWidth {
-        match self.next_u64() % 3 {
-            0 => AccessWidth::Full,
-            1 => AccessWidth::Half(SubrankId(0)),
-            _ => AccessWidth::Half(SubrankId(1)),
-        }
+/// One draw → an access width, with Full and each half sub-rank equally
+/// likely.
+fn width(g: &mut Gen) -> AccessWidth {
+    match g.below(3) {
+        0 => AccessWidth::Full,
+        1 => AccessWidth::Half(SubrankId(0)),
+        _ => AccessWidth::Half(SubrankId(1)),
     }
 }
 
@@ -56,7 +45,7 @@ fn every_request_completes_exactly_once() {
                 (
                     g.next_u64() % (1 << 20),
                     g.next_u64() & 1 == 1,
-                    g.width(),
+                    width(&mut g),
                 )
             })
             .collect();
@@ -126,7 +115,7 @@ fn read_latency_has_physical_floor() {
     let mut g = Gen::new(32);
     for case in 0..256 {
         let line = g.next_u64() % (1 << 24);
-        let width = g.width();
+        let width = width(&mut g);
         let t = Timing::table2();
         let mut mem = MemorySystem::new(DramConfig::table2(), PowerParams::ddr4_1600());
         mem.enqueue(MemRequest {

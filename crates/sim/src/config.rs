@@ -157,6 +157,11 @@ pub struct SimConfig {
     /// Main-loop engine (bit-identical results either way; see
     /// [`EngineKind`]).
     pub engine: EngineKind,
+    /// Run with the mirror-memory oracle attached (see [`crate::mirror`]):
+    /// every writeback is shadow-copied and every functional read decode
+    /// is verified against it, panicking on divergence. Pure observer —
+    /// results are bit-identical with it on or off.
+    pub mirror: bool,
 }
 
 impl SimConfig {
@@ -176,6 +181,7 @@ impl SimConfig {
             store_version_salt: true,
             cid_bits: 14,
             engine: EngineKind::from_env(),
+            mirror: mirror_from_env(),
         }
     }
 
@@ -197,6 +203,24 @@ impl SimConfig {
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Same configuration with the mirror-memory oracle toggled
+    /// (overriding whatever `ATTACHE_MIRROR` selected).
+    pub fn with_mirror(mut self, mirror: bool) -> Self {
+        self.mirror = mirror;
+        self
+    }
+}
+
+/// Reads `ATTACHE_MIRROR`: any non-empty value other than `0` enables the
+/// mirror-memory oracle for configs built afterwards. Deliberately *not*
+/// cached in a `OnceLock` — the oracle is a pure observer, and tests
+/// toggle the variable between config constructions.
+fn mirror_from_env() -> bool {
+    match std::env::var("ATTACHE_MIRROR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
     }
 }
 

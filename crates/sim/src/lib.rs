@@ -24,12 +24,14 @@
 pub mod backend;
 pub mod config;
 pub mod core_model;
+pub mod mirror;
 pub mod report_io;
 pub mod stats;
 pub mod strategy;
 pub mod system;
 
 pub use config::{CoreConfig, EngineKind, MetadataStrategyKind, SimConfig};
+pub use mirror::{MirrorGlobalStats, MirrorMismatch, MirrorOracle, MirrorStats};
 pub use stats::{RunReport, BUS_CYCLE_NS};
 pub use strategy::{ReadPlan, ReqSpec, Strategy, StrategyStats, WritePlan};
 pub use system::System;

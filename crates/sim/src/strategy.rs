@@ -46,6 +46,7 @@ use std::collections::HashMap;
 
 use crate::backend::MemoryBackend;
 use crate::config::MetadataStrategyKind;
+use crate::mirror::{MirrorOracle, MirrorStats};
 
 /// A request the strategy wants issued (the system assigns ids/cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,8 @@ pub struct Strategy {
     copr: Option<Copr>,
     images: HashMap<u64, StoredImage>,
     stats: StrategyStats,
+    // Optional shadow-copy correctness oracle (see crate::mirror).
+    mirror: Option<MirrorOracle>,
 }
 
 impl Strategy {
@@ -149,12 +152,76 @@ impl Strategy {
             copr,
             images: HashMap::new(),
             stats: StrategyStats::default(),
+            mirror: None,
         }
     }
 
     /// The strategy kind.
     pub fn kind(&self) -> MetadataStrategyKind {
         self.kind
+    }
+
+    /// Turns on the mirror-memory oracle: every writeback snapshots the
+    /// bytes being stored, and every demand read re-checks what the
+    /// functional path decoded against that snapshot, panicking on any
+    /// divergence. Pure observer — timing, stats, and request streams
+    /// are untouched.
+    pub fn enable_mirror(&mut self) {
+        self.mirror = Some(MirrorOracle::new());
+    }
+
+    /// The mirror oracle's activity counters, if it is enabled.
+    pub fn mirror_stats(&self) -> Option<MirrorStats> {
+        self.mirror.as_ref().map(|m| m.stats())
+    }
+
+    /// Oracle hook (Attaché written path): the block the BLEM decode
+    /// produced must be byte-identical to the snapshot taken when the
+    /// line was written back. This is the end-to-end losslessness check
+    /// across compression, the CID/XID header, scrambling, and the
+    /// Replacement Area.
+    fn mirror_check_decoded(&mut self, line: u64, decoded: &[u8; 64]) {
+        if let Some(mirror) = self.mirror.as_mut() {
+            if let Err(m) = mirror.check_read(line, decoded) {
+                panic!("[attache-sim] {} mirror oracle: {m}", self.kind);
+            }
+        }
+    }
+
+    /// Oracle hook (Attaché pristine path): a read that skipped the
+    /// functional decode is only legal for a line that was never written
+    /// back — a recorded snapshot here means the strategy lost track of
+    /// a stored image.
+    fn mirror_check_pristine(&mut self, line: u64) {
+        if let Some(mirror) = self.mirror.as_ref() {
+            assert!(
+                mirror.recorded(line).is_none(),
+                "[attache-sim] {} mirror oracle: line {line:#x} was written back \
+                 but the read took the pristine path",
+                self.kind
+            );
+        }
+    }
+
+    /// Oracle hook (MetadataCache / Oracle): those strategies store lines
+    /// verbatim, so there are no decoded bytes to diff; instead the
+    /// stored-layout classification the read resolved is re-derived from
+    /// the snapshot bytes and cross-checked.
+    fn mirror_check_classification(&mut self, line: u64, comp: bool) {
+        let Some(rec) = self.mirror.as_ref().and_then(|m| m.recorded(line)).copied() else {
+            return;
+        };
+        let expect = self.engine.fits_subrank(&rec);
+        // Count it as a checked read (the byte comparison is the identity
+        // for verbatim strategies, so `check_read` cannot fail here).
+        let mirror = self.mirror.as_mut().expect("mirror present");
+        mirror.check_read(line, &rec).expect("identity check");
+        assert_eq!(
+            comp, expect,
+            "[attache-sim] {} mirror oracle: line {line:#x} classified \
+             compressed={comp} but the stored bytes compress to {expect}",
+            self.kind
+        );
     }
 
     /// The compressed line's home sub-rank: odd rows in sub-rank 0, even
@@ -297,27 +364,34 @@ impl Strategy {
         match self.kind {
             MetadataStrategyKind::Baseline => Vec::new(),
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
-                if self.actual_compressed(line, backend) {
+                let comp = self.actual_compressed(line, backend);
+                if comp {
                     self.stats.compressed_reads += 1;
                 }
+                self.mirror_check_classification(line, comp);
                 Vec::new()
             }
             MetadataStrategyKind::Attache => {
                 // Written-back lines go through the full functional BLEM
                 // read (verifying the header flow and servicing the RA);
                 // pristine lines are evaluated with the pure probe.
-                let (actual, collision) = match self.images.get(&line) {
+                let (actual, collision, decoded) = match self.images.get(&line) {
                     Some(image) => {
                         let image = image.clone();
                         let blem = self.blem.as_mut().expect("blem present");
-                        let (_, info) = blem.read_line(line, &image);
-                        (info.compressed, info.collision)
+                        let (block, info) = blem.read_line(line, &image);
+                        (info.compressed, info.collision, Some(block))
                     }
                     None => {
                         let blem = self.blem.as_ref().expect("blem present");
-                        blem.probe_line(line, &backend.pristine_content(line))
+                        let (c, coll) = blem.probe_line(line, &backend.pristine_content(line));
+                        (c, coll, None)
                     }
                 };
+                match decoded {
+                    Some(block) => self.mirror_check_decoded(line, &block),
+                    None => self.mirror_check_pristine(line),
+                }
                 if actual {
                     self.stats.compressed_reads += 1;
                 }
@@ -351,6 +425,12 @@ impl Strategy {
     /// Plans a writeback of `line` (LLC dirty eviction) for `core`.
     pub fn plan_write(&mut self, line: u64, _core: u8, backend: &MemoryBackend) -> WritePlan {
         self.stats.writes += 1;
+        if let Some(mirror) = self.mirror.as_mut() {
+            // Snapshot exactly what the strategy is being asked to store;
+            // the live backend contents may advance past this (store-issue
+            // time versioning) before the line is next read.
+            mirror.record_write(line, &backend.content(line));
+        }
         match self.kind {
             MetadataStrategyKind::Baseline => WritePlan {
                 data: ReqSpec {

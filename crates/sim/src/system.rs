@@ -152,7 +152,7 @@ impl System {
         let copr_cfg = cfg
             .copr
             .unwrap_or_else(|| CoprConfig::paper_default(backend.occupied_lines().max(1)));
-        let strategy = Strategy::with_cid_bits(
+        let mut strategy = Strategy::with_cid_bits(
             cfg.strategy,
             mapping,
             cfg.metadata_cache,
@@ -160,6 +160,9 @@ impl System {
             seed,
             cfg.cid_bits,
         );
+        if cfg.mirror {
+            strategy.enable_mirror();
+        }
         let cores = profiles
             .iter()
             .enumerate()

@@ -1,0 +1,32 @@
+//! Shared deterministic testing toolkit for the Attaché workspace.
+//!
+//! Every property suite in the workspace used to carry its own copy of a
+//! splitmix64 case generator; this crate is the single home for that
+//! generator ([`Gen`]), plus the pieces a property harness needs around it:
+//!
+//! * [`shrink`] — minimize a failing input while it keeps failing,
+//! * [`corpus`] — load/record reproducible failing cases under the
+//!   repo-level `tests/corpus/` directory,
+//! * [`arbitrary`] — small `Arbitrary`-style helpers for the domain values
+//!   that show up in every suite (line addresses, BLEM headers, CID widths).
+//!
+//! The generator is **seed-stable**: `Gen::new(seed)` produces the exact
+//! byte stream the four original per-crate copies produced, so a failing
+//! case index reported by an old test run still reproduces today. The
+//! stream is pinned by unit tests in [`rng`]; do not change the constants.
+//!
+//! No dependencies, by design: this crate is a dev-dependency of every
+//! other crate in the workspace, so it must not depend on any of them and
+//! must build in offline sandboxes.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod corpus;
+pub mod rng;
+pub mod shrink;
+
+pub use arbitrary::{arbitrary, arbitrary_vec, Arbitrary, CidBits, Header16, LineAddr};
+pub use corpus::{corpus_dir, CorpusCase};
+pub use rng::{fnv1a64, incompressible_block, splitmix64, unit, Gen};
+pub use shrink::{shrink_u64, shrink_vec};

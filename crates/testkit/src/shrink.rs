@@ -1,0 +1,107 @@
+//! Value shrinking: once a property fails, minimize the failing input
+//! while it keeps failing, so the recorded corpus case (and the assertion
+//! message) is as small as a human can reason about.
+//!
+//! The shrinkers are deterministic and predicate-driven: you hand them the
+//! failing value and a closure that re-runs the property, returning `true`
+//! while the candidate *still fails*.
+
+/// Shrinks a failing `u64` towards zero.
+///
+/// Tries zero, halving, decrement, and clearing individual set bits, and
+/// greedily accepts any smaller candidate that still fails. Terminates
+/// because every accepted candidate is strictly smaller.
+pub fn shrink_u64<F: Fn(u64) -> bool>(mut cur: u64, still_fails: F) -> u64 {
+    loop {
+        let mut candidates = vec![0u64, cur >> 1, cur.saturating_sub(1)];
+        for bit in 0..64 {
+            if cur & (1u64 << bit) != 0 {
+                candidates.push(cur & !(1u64 << bit));
+            }
+        }
+        match candidates.into_iter().find(|&c| c < cur && still_fails(c)) {
+            Some(c) => cur = c,
+            None => return cur,
+        }
+    }
+}
+
+/// Shrinks a failing sequence by deleting chunks (delta-debugging style).
+///
+/// Starts with halves and narrows to single-element deletions; returns the
+/// shortest subsequence found for which `still_fails` holds. The input
+/// itself is assumed to fail.
+pub fn shrink_vec<T: Clone, F: Fn(&[T]) -> bool>(input: &[T], still_fails: F) -> Vec<T> {
+    let mut cur = input.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if candidate.len() < cur.len() && still_fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // The next chunk has shifted into `start`; retry in place.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                return cur;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_shrinks_to_threshold() {
+        // Property "fails" for any value >= 1000: minimum is 1000.
+        assert_eq!(shrink_u64(0xDEAD_BEEF, |v| v >= 1000), 1000);
+    }
+
+    #[test]
+    fn u64_shrinks_to_single_bit() {
+        // Fails whenever bit 17 is set: minimal failing value is 1 << 17.
+        assert_eq!(shrink_u64(u64::MAX, |v| v & (1 << 17) != 0), 1 << 17);
+    }
+
+    #[test]
+    fn u64_already_minimal_is_stable() {
+        assert_eq!(shrink_u64(0, |_| true), 0);
+    }
+
+    #[test]
+    fn vec_shrinks_to_culprit_element() {
+        let input: Vec<u64> = (0..100).collect();
+        let out = shrink_vec(&input, |v| v.contains(&37));
+        assert_eq!(out, vec![37]);
+    }
+
+    #[test]
+    fn vec_shrinks_to_interacting_pair() {
+        let input: Vec<u64> = (0..64).collect();
+        let out = shrink_vec(&input, |v| v.contains(&3) && v.contains(&60));
+        assert_eq!(out, vec![3, 60]);
+    }
+
+    #[test]
+    fn vec_keeps_order() {
+        let input = vec![9u64, 1, 8, 2, 7];
+        let out = shrink_vec(&input, |v| {
+            let a = v.iter().position(|&x| x == 8);
+            let b = v.iter().position(|&x| x == 2);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(out, vec![8, 2]);
+    }
+}

@@ -21,7 +21,24 @@ ATTACHE_QUICK=1 ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release
 echo "=== differential + sim tests under ATTACHE_ENGINE=event ==="
 ATTACHE_QUICK=1 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release
 
+# The correctness harness: the mirror-memory oracle byte-checks every
+# decoded read against a shadow copy, and the DRAM conformance auditor
+# re-validates every issued command against the JEDEC timings. Both are
+# pure observers, so running the sim + dram suites under them turns the
+# whole randomized/differential workload into a zero-mismatch,
+# zero-violation certification — once per engine.
+echo "=== mirror oracle + DRAM conformance under ATTACHE_ENGINE=cycle ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=cycle ATTACHE_MIRROR=1 ATTACHE_CONFORMANCE=1 \
+    cargo test -q -p attache-sim -p attache-dram --release
+
+echo "=== mirror oracle + DRAM conformance under ATTACHE_ENGINE=event ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=event ATTACHE_MIRROR=1 ATTACHE_CONFORMANCE=1 \
+    cargo test -q -p attache-sim -p attache-dram --release
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo clippy (attache-testkit) -- -D warnings ==="
+cargo clippy -p attache-testkit --all-targets -- -D warnings
 
 echo "CI OK"
