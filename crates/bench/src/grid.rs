@@ -28,7 +28,7 @@
 //! ```
 
 use attache_core::copr::CoprConfig;
-use attache_sim::{report_io, MetadataStrategyKind, RunReport, SimConfig, System};
+use attache_sim::{report_io, MetadataStrategyKind, Observation, RunReport, SimConfig, System};
 use attache_workloads::{mixes, MixWorkload, Profile};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -257,15 +257,37 @@ impl JobSpec {
 
     /// Runs the simulation for this job (no cache involvement).
     pub fn execute(&self, cfg: &ExperimentConfig) -> RunReport {
+        self.execute_observed(cfg).0
+    }
+
+    /// [`execute`](Self::execute) plus the run's observability output
+    /// when any `ATTACHE_EPOCH`/`ATTACHE_TRACE_RING` knob is on.
+    pub fn execute_observed(
+        &self,
+        cfg: &ExperimentConfig,
+    ) -> (RunReport, Option<Observation>) {
         let sim = self.sim_config(cfg);
         let seed = self.seed(cfg.seed);
         match &self.workload {
             WorkloadRef::Rate(name) => {
                 let p = Profile::by_name(name).expect("rate workload exists");
-                System::run_rate_mode(&sim, p, seed)
+                System::run_rate_mode_observed(&sim, p, seed)
             }
-            WorkloadRef::Mix(name) => System::run_mix(&sim, &find_mix(name), seed),
+            WorkloadRef::Mix(name) => System::run_mix_observed(&sim, &find_mix(name), seed),
         }
+    }
+
+    /// A file-system-safe stem for this job's observability exports:
+    /// the label with separators flattened, plus the config tag.
+    pub fn export_stem(&self, cfg: &ExperimentConfig) -> String {
+        let mut stem = String::new();
+        for c in self.label().chars() {
+            match c {
+                'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' | '.' => stem.push(c),
+                _ => stem.push('_'),
+            }
+        }
+        format!("{stem}_{}", cfg.tag())
     }
 }
 
@@ -332,13 +354,25 @@ impl Grid {
             let k = started.fetch_add(1, Ordering::Relaxed) + 1;
             eprintln!("[attache-grid] [{k:>3}/{total}] {} running...", job.label());
             let t = Instant::now();
-            let report = job.execute(cfg);
+            let (report, observation) = job.execute_observed(cfg);
             eprintln!(
                 "[attache-grid] [{k:>3}/{total}] {} done in {:.1}s (bus_cycles={})",
                 job.label(),
                 t.elapsed().as_secs_f64(),
                 report.bus_cycles
             );
+            if let Some(obs) = observation {
+                // Metric/series exports land next to the results so a
+                // sweep under ATTACHE_EPOCH leaves one time-series per
+                // executed job. (Cached jobs skip the simulation, so no
+                // observation exists for them; use ATTACHE_NO_CACHE to
+                // force re-execution when collecting series.)
+                let dir = cfg.results_dir().join("series");
+                let stem = job.export_stem(cfg);
+                if let Err(e) = report_io::write_observation(&dir, &stem, &obs) {
+                    eprintln!("[attache-grid] warning: observability export failed: {e}");
+                }
+            }
             if use_cache {
                 store_cached(&path, &report, &key);
             }

@@ -12,7 +12,7 @@
 //! * `ATTACHE_NO_CACHE` — skip the report cache (recompute and do not
 //!   save). Passing `--no-cache` to a figure binary does the same.
 
-use attache_sim::SimConfig;
+use attache_sim::{env_u64, SimConfig};
 use std::path::PathBuf;
 
 /// Harness-level configuration, read from the environment.
@@ -24,24 +24,6 @@ pub struct ExperimentConfig {
     pub warmup: u64,
     /// Base seed.
     pub seed: u64,
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => match v.parse() {
-            Ok(n) => n,
-            Err(_) => {
-                // A set-but-unparsable knob is almost certainly a typo the
-                // user wants to know about, not a request for the default.
-                eprintln!(
-                    "[attache-bench] warning: {name}={v:?} is not a valid u64; \
-                     using default {default}"
-                );
-                default
-            }
-        },
-        Err(_) => default,
-    }
 }
 
 impl ExperimentConfig {

@@ -54,6 +54,20 @@ impl PolicyKind {
     }
 }
 
+impl PolicyKind {
+    /// A stable lowercase identifier for metric names and file stems
+    /// (`lru`, `random`, `srrip`, `drrip`, `ship`).
+    pub fn key(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Random => "random",
+            PolicyKind::Srrip => "srrip",
+            PolicyKind::Drrip => "drrip",
+            PolicyKind::Ship => "ship",
+        }
+    }
+}
+
 impl core::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {

@@ -118,6 +118,10 @@ pub struct Blem {
     cid: CidValue,
     ra: ReplacementArea,
     stats: BlemStats,
+    /// Collisions whose XID bit was actually flipped 0→1 (the displaced
+    /// bit was a 0). Observability-only: kept outside [`BlemStats`]
+    /// because that struct is embedded in `RunReport`.
+    xid_flips: u64,
 }
 
 impl Blem {
@@ -144,6 +148,7 @@ impl Blem {
             cid: CidValue::from_seed(seed, config),
             ra: ReplacementArea::new(),
             stats: BlemStats::default(),
+            xid_flips: 0,
         }
     }
 
@@ -168,9 +173,17 @@ impl Blem {
         self.ra.stats()
     }
 
+    /// Collisions where forcing XID to 1 changed the stored bit (the
+    /// displaced bit was 0); the complement of the collisions whose
+    /// header already carried XID = 1.
+    pub fn xid_flips(&self) -> u64 {
+        self.xid_flips
+    }
+
     /// Resets counters after warm-up.
     pub fn reset_stats(&mut self) {
         self.stats = BlemStats::default();
+        self.xid_flips = 0;
         self.ra.reset_stats();
     }
 
@@ -197,6 +210,9 @@ impl Blem {
         if collision {
             self.stats.write_collisions += 1;
             let displaced = header & 1 != 0;
+            if !displaced {
+                self.xid_flips += 1;
+            }
             self.ra.store_bit(line_addr, displaced);
             let forced = header | 1; // XID = 1
             stored[..2].copy_from_slice(&forced.to_be_bytes());

@@ -109,6 +109,46 @@ impl CoprStats {
     }
 }
 
+/// Which predictor component a prediction came from, in the priority
+/// order [`Copr::predict`] consults them. Used to attribute accuracy
+/// per component (Fig. 17's ablation axis, observed instead of re-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoprSource {
+    /// The page-level predictor answered (uniform page, or LiPR silent).
+    Papr,
+    /// The line-level predictor answered.
+    Lipr,
+    /// The Global Indicator answered.
+    Gi,
+    /// Everything was cold: the safe "uncompressed" default.
+    Default,
+}
+
+impl CoprSource {
+    /// Every source, in priority order.
+    pub const ALL: [CoprSource; 4] =
+        [CoprSource::Papr, CoprSource::Lipr, CoprSource::Gi, CoprSource::Default];
+
+    /// A stable lowercase key for metric names.
+    pub fn key(self) -> &'static str {
+        match self {
+            CoprSource::Papr => "papr",
+            CoprSource::Lipr => "lipr",
+            CoprSource::Gi => "gi",
+            CoprSource::Default => "default",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CoprSource::Papr => 0,
+            CoprSource::Lipr => 1,
+            CoprSource::Gi => 2,
+            CoprSource::Default => 3,
+        }
+    }
+}
+
 /// The Compression Predictor.
 ///
 /// # Example
@@ -131,6 +171,7 @@ pub struct Copr {
     papr: Papr,
     lipr: Lipr,
     stats: CoprStats,
+    by_source: [CoprStats; 4],
 }
 
 impl Copr {
@@ -142,6 +183,7 @@ impl Copr {
             papr: Papr::new(config.papr_sets, config.papr_ways),
             lipr: Lipr::new(config.lipr_sets, config.lipr_ways),
             stats: CoprStats::default(),
+            by_source: [CoprStats::default(); 4],
         }
     }
 
@@ -180,6 +222,30 @@ impl Copr {
         false
     }
 
+    /// Which component [`Copr::predict`] would answer from for
+    /// `line_addr` right now — the same priority walk as `predict`,
+    /// returning the source instead of the bit.
+    pub fn source_of(&self, line_addr: u64) -> CoprSource {
+        let page = line_addr / LINES_PER_PAGE;
+        let line_in_page = (line_addr % LINES_PER_PAGE) as usize;
+        if self.config.use_papr && self.papr.predict(page).is_some() {
+            if self.config.use_lipr
+                && !self.papr.neighbours_similar(page)
+                && self.lipr.predict(page, line_in_page).is_some()
+            {
+                return CoprSource::Lipr;
+            }
+            return CoprSource::Papr;
+        }
+        if self.config.use_lipr && self.lipr.predict(page, line_in_page).is_some() {
+            return CoprSource::Lipr;
+        }
+        if self.config.use_gi {
+            return CoprSource::Gi;
+        }
+        CoprSource::Default
+    }
+
     /// Trains all active components with the BLEM-provided ground truth.
     pub fn train(&mut self, line_addr: u64, compressible: bool) {
         let page = line_addr / LINES_PER_PAGE;
@@ -198,15 +264,26 @@ impl Copr {
         }
     }
 
-    /// Records a resolved prediction for the accuracy statistics.
-    pub fn record(&mut self, predicted: bool, actual: bool) {
-        self.stats.predictions += 1;
-        if predicted == actual {
-            self.stats.correct += 1;
-        } else if actual {
-            self.stats.underpredictions += 1;
-        } else {
-            self.stats.overpredictions += 1;
+    /// Records a resolved prediction for the accuracy statistics,
+    /// attributed to the component that would answer for `line_addr`.
+    ///
+    /// Attribution note: the source is re-derived at record time, which
+    /// in the simulator is after the read round-trips through DRAM — an
+    /// intervening train on a neighbouring line can shift which
+    /// component would answer. The per-source split is therefore a
+    /// (deterministic) close approximation; the aggregate counters are
+    /// exact.
+    pub fn record(&mut self, line_addr: u64, predicted: bool, actual: bool) {
+        let source = self.source_of(line_addr);
+        for s in [&mut self.stats, &mut self.by_source[source.index()]] {
+            s.predictions += 1;
+            if predicted == actual {
+                s.correct += 1;
+            } else if actual {
+                s.underpredictions += 1;
+            } else {
+                s.overpredictions += 1;
+            }
         }
     }
 
@@ -215,9 +292,15 @@ impl Copr {
         self.stats
     }
 
+    /// Accuracy counters attributed to one predictor component.
+    pub fn source_stats(&self, source: CoprSource) -> CoprStats {
+        self.by_source[source.index()]
+    }
+
     /// Resets counters after warm-up (tables keep their training).
     pub fn reset_stats(&mut self) {
         self.stats = CoprStats::default();
+        self.by_source = [CoprStats::default(); 4];
     }
 
     /// Total SRAM budget of the active components in bytes (the paper's
@@ -312,15 +395,50 @@ mod tests {
     #[test]
     fn accuracy_counters() {
         let mut copr = Copr::new(CoprConfig::paper_default(TOTAL));
-        copr.record(true, true);
-        copr.record(false, true);
-        copr.record(true, false);
+        copr.record(0, true, true);
+        copr.record(0, false, true);
+        copr.record(0, true, false);
         let s = copr.stats();
         assert_eq!(s.predictions, 3);
         assert_eq!(s.correct, 1);
         assert_eq!(s.underpredictions, 1);
         assert_eq!(s.overpredictions, 1);
         assert!((s.accuracy() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_source_counters_partition_the_total() {
+        let mut copr = Copr::new(CoprConfig::paper_default(TOTAL));
+        // Cold predictor: attribution is the GI fallback.
+        assert_eq!(copr.source_of(5), CoprSource::Gi);
+        copr.record(5, false, false);
+        // Warm one page so PaPR answers there.
+        for line in 0..LINES_PER_PAGE {
+            copr.train(line, true);
+        }
+        assert_eq!(copr.source_of(3), CoprSource::Papr);
+        copr.record(3, true, true);
+        let total: u64 = CoprSource::ALL
+            .iter()
+            .map(|&s| copr.source_stats(s).predictions)
+            .sum();
+        assert_eq!(total, copr.stats().predictions);
+        assert_eq!(copr.source_stats(CoprSource::Gi).predictions, 1);
+        assert_eq!(copr.source_stats(CoprSource::Papr).correct, 1);
+        copr.reset_stats();
+        assert_eq!(copr.source_stats(CoprSource::Papr).predictions, 0);
+    }
+
+    #[test]
+    fn default_source_when_everything_disabled() {
+        let copr = Copr::new(CoprConfig {
+            use_gi: false,
+            use_papr: false,
+            use_lipr: false,
+            ..CoprConfig::paper_default(TOTAL)
+        });
+        assert_eq!(copr.source_of(1), CoprSource::Default);
+        assert_eq!(CoprSource::Default.key(), "default");
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! // Read: predict first (choose sub-ranks), then verify from the header.
 //! let predicted = copr.predict(1000);
 //! let (block, info) = blem.read_line(1000, &w.image);
-//! copr.record(predicted, info.compressed);
+//! copr.record(1000, predicted, info.compressed);
 //! copr.train(1000, info.compressed);
 //! assert_eq!(block, data);
 //! ```
@@ -47,7 +47,7 @@ pub mod replacement_area;
 pub mod scramble;
 
 pub use blem::{Blem, BlemStats, ReadInfo, StoredImage, WriteOutcome};
-pub use copr::{Copr, CoprConfig, CoprStats};
+pub use copr::{Copr, CoprConfig, CoprSource, CoprStats};
 pub use header::{CidConfig, CidValue, HeaderMatch};
 pub use replacement_area::{ReplacementArea, ReplacementAreaStats};
 pub use scramble::Scrambler;

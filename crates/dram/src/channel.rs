@@ -179,9 +179,17 @@ pub struct Channel {
     sticky_drain: bool,
     stats: ChannelStats,
     stats_base: u64,
+    /// Per-sub-rank data-bus busy cycles / CAS counts. Observability-only
+    /// side counters (not part of [`ChannelStats`], which feeds
+    /// `RunReport`): sub-ranked strategies serve narrow lines from a
+    /// subset of chips, and these expose that split per sub-rank.
+    subrank_busy: Vec<u64>,
+    subrank_cas: Vec<u64>,
     power: PowerModel,
     /// Optional protocol auditor; a pure observer of the command stream.
     auditor: Option<Box<ConformanceChecker>>,
+    /// Optional shared event-trace ring, dumped when the auditor fires.
+    trace: Option<attache_metrics::SharedTraceRing>,
 }
 
 impl Channel {
@@ -200,8 +208,11 @@ impl Channel {
             sticky_drain: false,
             stats: ChannelStats::default(),
             stats_base: 0,
+            subrank_busy: vec![0; cfg.subranks],
+            subrank_cas: vec![0; cfg.subranks],
             power: PowerModel::new(power),
             auditor: conformance_enabled().then(|| Box::new(ConformanceChecker::new(&cfg))),
+            trace: None,
         }
     }
 
@@ -227,12 +238,34 @@ impl Channel {
     fn audit(&mut self, now: u64, rank: usize, cmd: DramCommand) {
         if let Some(a) = self.auditor.as_mut() {
             if let Err(v) = a.observe(now, rank, &cmd) {
+                let history = self
+                    .trace
+                    .as_ref()
+                    .map(|r| format!("\n{}", attache_metrics::dump_shared(r)))
+                    .unwrap_or_default();
                 panic!(
-                    "[attache-dram] channel {} rank {rank}: DRAM protocol violation: {v}",
+                    "[attache-dram] channel {} rank {rank}: DRAM protocol violation: {v}{history}",
                     self.index
                 );
             }
         }
+    }
+
+    /// Shares an event-trace ring with this channel; its contents are
+    /// appended to the panic message when the protocol auditor fires.
+    pub fn set_trace(&mut self, ring: attache_metrics::SharedTraceRing) {
+        self.trace = Some(ring);
+    }
+
+    /// Per-sub-rank data-bus busy cycles since the last stats reset.
+    pub fn subrank_busy(&self) -> &[u64] {
+        &self.subrank_busy
+    }
+
+    /// Per-sub-rank CAS (read or write burst) counts since the last
+    /// stats reset.
+    pub fn subrank_cas(&self) -> &[u64] {
+        &self.subrank_cas
     }
 
     /// The current bus cycle.
@@ -351,6 +384,8 @@ impl Channel {
         self.stats = ChannelStats::default();
         // Keep `cycles` relative to the reset point.
         self.stats_base = self.now;
+        self.subrank_busy.iter_mut().for_each(|c| *c = 0);
+        self.subrank_cas.iter_mut().for_each(|c| *c = 0);
         self.power.reset();
     }
 
@@ -919,6 +954,10 @@ impl Channel {
             self.audit(now, p.loc.rank, cmd);
             self.stats.bytes += bytes;
             self.stats.busy_bus_cycles += t.t_burst * mask.count_ones() as u64;
+            for s in (0..self.cfg.subranks).filter(|s| mask & (1 << *s) != 0) {
+                self.subrank_busy[s] += t.t_burst;
+                self.subrank_cas[s] += 1;
+            }
             self.in_flight.push((finish, p.req, !p.needed_act));
             return true;
         }

@@ -113,6 +113,30 @@ impl MemorySystem {
         }
     }
 
+    /// Shares an event-trace ring with every channel; its contents are
+    /// appended to the panic message when a protocol auditor fires.
+    pub fn set_trace(&mut self, ring: attache_metrics::SharedTraceRing) {
+        for ch in &mut self.channels {
+            ch.set_trace(ring.clone());
+        }
+    }
+
+    /// Per-channel queue occupancy `(reads, writes)`.
+    pub fn queue_depths(&self) -> Vec<(usize, usize)> {
+        self.channels.iter().map(Channel::queue_depths).collect()
+    }
+
+    /// Per-channel, per-sub-rank data-bus busy cycles since the last
+    /// stats reset.
+    pub fn subrank_busy(&self) -> Vec<Vec<u64>> {
+        self.channels.iter().map(|ch| ch.subrank_busy().to_vec()).collect()
+    }
+
+    /// Per-channel, per-sub-rank CAS counts since the last stats reset.
+    pub fn subrank_cas(&self) -> Vec<Vec<u64>> {
+        self.channels.iter().map(|ch| ch.subrank_cas().to_vec()).collect()
+    }
+
     /// The address mapping in use.
     pub fn mapping(&self) -> &AddressMapping {
         &self.mapping

@@ -1,0 +1,203 @@
+//! Log-2-bucketed histograms for latency-style values.
+//!
+//! The bucket layout is fixed and value-derived: value `0` lands in
+//! bucket 0, and any other value `v` lands in the bucket whose lower
+//! bound is the largest power of two `<= v` (so bucket index
+//! `64 - v.leading_zeros()`). This gives a dense, allocation-light
+//! summary that is exact for the quantities the simulator cares about
+//! (counts, totals, extremes) and within 2x for everything else —
+//! plenty for spotting a queueing regression, and cheap enough to record
+//! on every completed DRAM read.
+
+/// A log-2-bucketed histogram of `u64` samples.
+///
+/// Buckets are stored as a grow-on-demand vector indexed by
+/// [`Histogram::bucket_index`]; the vector never holds trailing zero
+/// buckets (growth stops at the highest bucket ever hit), which makes the
+/// derived `PartialEq` semantic: two histograms that saw the same
+/// multiset of samples compare equal regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: `0` for `v == 0`, otherwise
+    /// `floor(log2(v)) + 1`.
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The smallest value that lands in bucket `index` (`0` for bucket 0,
+    /// `2^(index-1)` otherwise).
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Folds `other` into `self`, as if every sample recorded into
+    /// `other` had been recorded here instead.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Non-empty buckets in ascending index order, as
+    /// `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower_bound(i), c))
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn lower_bounds_invert_the_index() {
+        for idx in [0usize, 1, 2, 10, 63, 64] {
+            let lb = Histogram::bucket_lower_bound(idx);
+            assert_eq!(Histogram::bucket_index(lb), idx, "lb {lb:#x}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_aggregates() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        for v in [5u64, 0, 17, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 27);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(17));
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (4, 2), (16, 1)]);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let xs = [3u64, 9, 0, 1 << 40, 7];
+        let ys = [2u64, 2, 1024];
+        let mut all = Histogram::new();
+        for &v in xs.iter().chain(&ys) {
+            all.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+        let mut e = Histogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

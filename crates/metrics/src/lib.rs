@@ -1,0 +1,29 @@
+//! Observability toolkit for the Attaché workspace: a metric
+//! [`Registry`] of named counters/gauges/[`Histogram`]s, an
+//! [`EpochSeries`] of timestamped registry snapshots, a bounded
+//! [`TraceRing`] of decoded events for failure context, and
+//! deterministic JSON/CSV [`export`]ers.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Pure observation.** Nothing here is consulted by model code; the
+//!    simulator samples *into* these containers. Results with
+//!    observability off must be bit-identical to results with it on.
+//! 2. **Offline, zero dependencies.** Like the rest of the workspace,
+//!    this crate uses only `std` — the exports are hand-rolled.
+//! 3. **Determinism.** All iteration orders and all rendered output are
+//!    deterministic, so metric exports can be pinned as golden files.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod series;
+pub mod trace;
+
+pub use export::{registry_to_json, series_to_csv, series_to_json};
+pub use hist::Histogram;
+pub use registry::Registry;
+pub use series::{EpochSeries, Sample};
+pub use trace::{dump_shared, shared_ring, SharedTraceRing, TraceEvent, TraceRing};

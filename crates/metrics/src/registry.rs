@@ -1,0 +1,174 @@
+//! The metric registry: a flat, name-keyed snapshot of counters, gauges,
+//! and histograms.
+//!
+//! Names are dotted paths (`dram.ch0.row_hits`, `core.copr.lipr.correct`)
+//! held in `BTreeMap`s so every iteration — and every export — is in
+//! deterministic lexicographic order. The registry is a *snapshot*
+//! container, not an instrumentation front-end: model code keeps its own
+//! plain-struct stats exactly as before, and an observer copies them in
+//! with [`Registry::set_counter`]/[`Registry::set_gauge`] at sampling
+//! points. That keeps the hot path free of string hashing and keeps the
+//! registry trivially cloneable for epoch series.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// A named collection of counters (`u64`), gauges (`f64`), and
+/// [`Histogram`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets counter `name` to `v` (creating it if absent).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        match self.counters.get_mut(name) {
+            Some(slot) => *slot = v,
+            None => {
+                self.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Adds `v` to counter `name` (creating it at `v` if absent).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        match self.counters.get_mut(name) {
+            Some(slot) => *slot += v,
+            None => {
+                self.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// The value of counter `name`, or 0 if it was never set.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (creating it if absent).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(slot) => *slot = v,
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// The value of gauge `name`, or `None` if it was never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram named `name`, created empty if absent.
+    pub fn hist_mut(&mut self, name: &str) -> &mut Histogram {
+        if !self.hists.contains_key(name) {
+            self.hists.insert(name.to_string(), Histogram::new());
+        }
+        self.hists.get_mut(name).expect("just inserted")
+    }
+
+    /// The histogram named `name`, if any samples container was created.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters in lexicographic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in lexicographic name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in lexicographic name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Removes every metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+
+    /// True when no metric of any kind has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_default_to_zero_and_overwrite() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.set_counter("x", 3);
+        r.set_counter("x", 5);
+        r.add_counter("x", 2);
+        r.add_counter("fresh", 9);
+        assert_eq!(r.counter("x"), 7);
+        assert_eq!(r.counter("fresh"), 9);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = Registry::new();
+        r.set_counter("b.two", 2);
+        r.set_counter("a.one", 1);
+        r.set_gauge("z", 0.5);
+        let names: Vec<_> = r.counters().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+        assert_eq!(r.gauge("z"), Some(0.5));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn hist_mut_creates_then_reuses() {
+        let mut r = Registry::new();
+        r.hist_mut("lat").record(4);
+        r.hist_mut("lat").record(8);
+        assert_eq!(r.hist("lat").unwrap().count(), 2);
+        assert!(r.hist("other").is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut r = Registry::new();
+        r.set_counter("c", 1);
+        r.set_gauge("g", 1.0);
+        r.hist_mut("h").record(1);
+        assert!(!r.is_empty());
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn equal_contents_compare_equal() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for r in [&mut a, &mut b] {
+            r.set_counter("c", 7);
+            r.set_gauge("g", 0.25);
+            r.hist_mut("h").record(3);
+        }
+        assert_eq!(a, b);
+        b.set_counter("c", 8);
+        assert_ne!(a, b);
+    }
+}

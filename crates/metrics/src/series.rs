@@ -1,0 +1,138 @@
+//! Epoch time-series: timestamped registry snapshots taken at a fixed
+//! tick cadence.
+//!
+//! A series is just `Vec<(tick, Registry)>` with the arithmetic the
+//! tests and plots need: [`EpochSeries::counter_deltas`] converts the
+//! cumulative snapshots into per-epoch increments, and by construction
+//! the deltas of any counter sum back to its value in the final
+//! snapshot — the conservation property the property suite pins.
+
+use std::collections::BTreeMap;
+
+use crate::registry::Registry;
+
+/// One snapshot in a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The simulator tick the snapshot was taken at.
+    pub tick: u64,
+    /// The full registry state at that tick (cumulative values).
+    pub registry: Registry,
+}
+
+/// An ordered sequence of registry snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochSeries {
+    samples: Vec<Sample>,
+}
+
+impl EpochSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot taken at `tick`.
+    pub fn push(&mut self, tick: u64, registry: Registry) {
+        self.samples.push(Sample { tick, registry });
+    }
+
+    /// The snapshots in recording order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The final snapshot, if any.
+    pub fn last(&self) -> Option<&Sample> {
+        self.samples.last()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no snapshot has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Removes every snapshot.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Per-epoch counter increments: for each sample, every counter's
+    /// value minus its value in the previous sample (or minus zero for
+    /// the first sample). Counters absent from a sample read as zero, so
+    /// late-appearing counters still produce conserved deltas.
+    pub fn counter_deltas(&self) -> Vec<(u64, BTreeMap<String, u64>)> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        let mut prev: Option<&Registry> = None;
+        for sample in &self.samples {
+            let mut deltas = BTreeMap::new();
+            for (name, v) in sample.registry.counters() {
+                let before = prev.map_or(0, |p| p.counter(name));
+                deltas.insert(name.to_string(), v.saturating_sub(before));
+            }
+            out.push((sample.tick, deltas));
+            prev = Some(&sample.registry);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(pairs: &[(&str, u64)]) -> Registry {
+        let mut r = Registry::new();
+        for &(k, v) in pairs {
+            r.set_counter(k, v);
+        }
+        r
+    }
+
+    #[test]
+    fn deltas_are_per_epoch_increments() {
+        let mut s = EpochSeries::new();
+        s.push(100, reg(&[("reads", 10)]));
+        s.push(200, reg(&[("reads", 25), ("writes", 4)]));
+        s.push(300, reg(&[("reads", 25), ("writes", 9)]));
+        let d = s.counter_deltas();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].0, 100);
+        assert_eq!(d[0].1["reads"], 10);
+        assert_eq!(d[1].1["reads"], 15);
+        assert_eq!(d[1].1["writes"], 4);
+        assert_eq!(d[2].1["reads"], 0);
+        assert_eq!(d[2].1["writes"], 5);
+    }
+
+    #[test]
+    fn deltas_sum_to_final_totals() {
+        let mut s = EpochSeries::new();
+        s.push(1, reg(&[("a", 3)]));
+        s.push(2, reg(&[("a", 7), ("b", 2)]));
+        s.push(3, reg(&[("a", 11), ("b", 6)]));
+        let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+        for (_, deltas) in s.counter_deltas() {
+            for (k, v) in deltas {
+                *sums.entry(k).or_default() += v;
+            }
+        }
+        let last = s.last().unwrap();
+        for (name, total) in last.registry.counters() {
+            assert_eq!(sums[name], total, "counter {name}");
+        }
+    }
+
+    #[test]
+    fn empty_series_has_no_deltas() {
+        let s = EpochSeries::new();
+        assert!(s.is_empty());
+        assert!(s.counter_deltas().is_empty());
+        assert!(s.last().is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! A bounded ring buffer of decoded simulator events, kept so that a
+//! correctness-harness failure (mirror-oracle mismatch, DRAM protocol
+//! violation) can be reported with the event history that led up to it
+//! instead of a bare "mismatch at tick T".
+//!
+//! The ring holds pre-rendered text: producers format an event once at
+//! push time, and [`TraceRing::dump`] only concatenates. Events beyond
+//! the capacity silently evict the oldest; the number evicted is tracked
+//! so a dump says how much history was dropped.
+//!
+//! The ring is shared between the strategy layer and every DRAM channel
+//! (both can be the component that detects the failure), hence
+//! [`SharedTraceRing`]. Lock contention is a non-issue — the simulator
+//! is single-threaded per `System`; the mutex exists only to keep
+//! `System: Send`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One decoded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The simulator tick the event happened at.
+    pub tick: u64,
+    /// The pre-rendered event description.
+    pub text: String,
+}
+
+/// A bounded FIFO of the most recent [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring that retains the last `cap` events (`cap` is clamped to at
+    /// least 1 so a configured ring can always report *something*).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, tick: u64, text: String) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent { tick, text });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.buf.iter()
+    }
+
+    /// Renders the retained history as a multi-line report, oldest event
+    /// first. Returns a one-line placeholder when the ring is empty so a
+    /// dump embedded in a panic message is never silently blank.
+    pub fn dump(&self) -> String {
+        if self.buf.is_empty() {
+            return "trace ring: empty (no events recorded)".to_string();
+        }
+        let mut out = format!(
+            "trace ring: last {} event(s){}:\n",
+            self.buf.len(),
+            if self.dropped > 0 {
+                format!(" ({} older dropped)", self.dropped)
+            } else {
+                String::new()
+            }
+        );
+        for ev in &self.buf {
+            out.push_str(&format!("  [tick {:>10}] {}\n", ev.tick, ev.text));
+        }
+        out
+    }
+}
+
+/// A trace ring shared across the components that feed and dump it.
+pub type SharedTraceRing = Arc<Mutex<TraceRing>>;
+
+/// A fresh shared ring of capacity `cap`.
+pub fn shared_ring(cap: usize) -> SharedTraceRing {
+    Arc::new(Mutex::new(TraceRing::new(cap)))
+}
+
+/// Renders a shared ring's dump, tolerating a poisoned mutex (the dump
+/// is typically taken *during* a panic, where the pushing side may have
+/// been unwound mid-lock).
+pub fn dump_shared(ring: &SharedTraceRing) -> String {
+    match ring.lock() {
+        Ok(r) => r.dump(),
+        Err(poisoned) => poisoned.into_inner().dump(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_last_cap_events() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(i, format!("event {i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ticks: Vec<_> = r.events().map(|e| e.tick).collect();
+        assert_eq!(ticks, [2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_lists_oldest_first_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        r.push(10, "first".into());
+        r.push(20, "second".into());
+        r.push(30, "third".into());
+        let d = r.dump();
+        assert!(d.contains("last 2 event(s)"), "{d}");
+        assert!(d.contains("(1 older dropped)"), "{d}");
+        let second = d.find("second").unwrap();
+        let third = d.find("third").unwrap();
+        assert!(second < third, "{d}");
+        assert!(!d.contains("first"), "{d}");
+    }
+
+    #[test]
+    fn empty_dump_is_self_describing() {
+        let r = TraceRing::new(8);
+        assert!(r.dump().contains("empty"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = TraceRing::new(0);
+        r.push(1, "x".into());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn shared_ring_round_trips() {
+        let ring = shared_ring(4);
+        ring.lock().unwrap().push(7, "hello".into());
+        let d = dump_shared(&ring);
+        assert!(d.contains("hello"), "{d}");
+    }
+}

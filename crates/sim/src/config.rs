@@ -162,6 +162,22 @@ pub struct SimConfig {
     /// is verified against it, panicking on divergence. Pure observer —
     /// results are bit-identical with it on or off.
     pub mirror: bool,
+    /// Epoch length in bus cycles for observability sampling: when
+    /// `Some(n)`, the run snapshots its metric registry into a
+    /// time-series every `n` bus cycles of the measured region
+    /// (`ATTACHE_EPOCH=<ticks>`, `0`/unset = disabled). Pure observer —
+    /// results are bit-identical with it on or off.
+    pub epoch: Option<u64>,
+    /// Capacity of the event-trace ring (`ATTACHE_TRACE_RING=<n>`,
+    /// `0`/unset = disabled): the last `n` decoded sim/DRAM events are
+    /// retained and dumped when the mirror oracle or the DRAM
+    /// conformance auditor fires. Pure observer.
+    pub trace_ring: Option<usize>,
+    /// Test hook (builder-only, no environment knob): corrupt every
+    /// mirror-oracle shadow record so the first re-read of a
+    /// written-back line reports a mismatch — proving the
+    /// failure-context dump path end to end.
+    pub mirror_poison: bool,
 }
 
 impl SimConfig {
@@ -182,6 +198,9 @@ impl SimConfig {
             cid_bits: 14,
             engine: EngineKind::from_env(),
             mirror: mirror_from_env(),
+            epoch: crate::env::env_u64_opt("ATTACHE_EPOCH"),
+            trace_ring: crate::env::env_u64_opt("ATTACHE_TRACE_RING").map(|n| n as usize),
+            mirror_poison: false,
         }
     }
 
@@ -209,6 +228,28 @@ impl SimConfig {
     /// (overriding whatever `ATTACHE_MIRROR` selected).
     pub fn with_mirror(mut self, mirror: bool) -> Self {
         self.mirror = mirror;
+        self
+    }
+
+    /// Same configuration with an explicit epoch-sampling period
+    /// (overriding whatever `ATTACHE_EPOCH` selected; `None` disables).
+    pub fn with_epoch(mut self, epoch: Option<u64>) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Same configuration with an explicit event-trace ring capacity
+    /// (overriding whatever `ATTACHE_TRACE_RING` selected; `None`
+    /// disables).
+    pub fn with_trace_ring(mut self, cap: Option<usize>) -> Self {
+        self.trace_ring = cap;
+        self
+    }
+
+    /// Same configuration with mirror-record poisoning toggled (test
+    /// hook; see [`SimConfig::mirror_poison`]).
+    pub fn with_mirror_poison(mut self, poison: bool) -> Self {
+        self.mirror_poison = poison;
         self
     }
 }

@@ -1,0 +1,43 @@
+//! Shared environment-variable parsing for run-control knobs.
+//!
+//! Every `ATTACHE_*` knob in the workspace follows the same contract: an
+//! unset variable means "default", and a set-but-unparsable value warns
+//! on stderr and falls back to the default — it never panics, because a
+//! typo in a CI environment or a shell profile must not turn every
+//! simulation into a crash. This module is the single implementation of
+//! that contract (the bench runner previously carried its own copy).
+
+/// Reads `name` as a `u64`, falling back to `default` when the variable
+/// is unset, and warning on stderr (then falling back) when it is set
+/// but unparsable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("[attache-sim] warning: {name}={v:?} is not a u64; using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Reads `name` as an optional `u64` knob where absence, the empty
+/// string, and `0` all mean "disabled" (`None`). A set-but-unparsable
+/// value warns on stderr and disables the knob — it never panics.
+pub fn env_u64_opt(name: &str) -> Option<u64> {
+    match std::env::var(name) {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!(
+                    "[attache-sim] warning: {name}={v:?} is not a u64; leaving the knob disabled"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}

@@ -24,14 +24,18 @@
 pub mod backend;
 pub mod config;
 pub mod core_model;
+pub mod env;
 pub mod mirror;
+pub mod observe;
 pub mod report_io;
 pub mod stats;
 pub mod strategy;
 pub mod system;
 
 pub use config::{CoreConfig, EngineKind, MetadataStrategyKind, SimConfig};
+pub use env::{env_u64, env_u64_opt};
 pub use mirror::{MirrorGlobalStats, MirrorMismatch, MirrorOracle, MirrorStats};
+pub use observe::Observation;
 pub use stats::{RunReport, BUS_CYCLE_NS};
 pub use strategy::{ReadPlan, ReqSpec, Strategy, StrategyStats, WritePlan};
 pub use system::System;

@@ -105,6 +105,7 @@ impl fmt::Display for MirrorMismatch {
 pub struct MirrorOracle {
     map: HashMap<u64, MirrorLine>,
     stats: MirrorStats,
+    poison: bool,
 }
 
 impl MirrorOracle {
@@ -113,9 +114,21 @@ impl MirrorOracle {
         Self::default()
     }
 
+    /// Test hook: corrupt byte 0 of every record at write time, so the
+    /// first checked re-read of a written-back line reports a mismatch.
+    /// Used to exercise the failure-reporting path (the panic message
+    /// and its attached trace-ring dump) end to end.
+    pub fn poison(&mut self) {
+        self.poison = true;
+    }
+
     /// Records `bytes` as the authoritative contents of `line`.
     pub fn record_write(&mut self, line: u64, bytes: &MirrorLine) {
-        self.map.insert(line, *bytes);
+        let mut stored = *bytes;
+        if self.poison {
+            stored[0] ^= 0xFF;
+        }
+        self.map.insert(line, stored);
         self.stats.writes_recorded += 1;
         GLOBAL_WRITES.fetch_add(1, Ordering::Relaxed);
     }

@@ -156,6 +156,36 @@ impl<'a> Fields<'a> {
     }
 }
 
+/// Writes a run's [`Observation`](crate::observe::Observation) next to
+/// its results: `<stem>.metrics.json` (the cumulative registry), and —
+/// when epoch sampling was on — `<stem>.series.json` plus
+/// `<stem>.series.csv` (the epoch time-series, JSON for tools, CSV for
+/// quick plotting). Creates `dir` if needed. Write-only, like the rest
+/// of the observability exports: nothing in the workspace parses these
+/// files back.
+pub fn write_observation(
+    dir: &std::path::Path,
+    stem: &str,
+    obs: &crate::observe::Observation,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join(format!("{stem}.metrics.json")),
+        attache_metrics::registry_to_json(&obs.registry),
+    )?;
+    if let Some(series) = &obs.series {
+        std::fs::write(
+            dir.join(format!("{stem}.series.json")),
+            attache_metrics::series_to_json(series),
+        )?;
+        std::fs::write(
+            dir.join(format!("{stem}.series.csv")),
+            attache_metrics::series_to_csv(series),
+        )?;
+    }
+    Ok(())
+}
+
 /// Parses a report serialized by [`to_text`]. Returns `None` on any
 /// malformed, truncated or version-mismatched input, and — when
 /// `expected_key` is given — on a cache-key mismatch (a stale or colliding

@@ -114,6 +114,8 @@ pub struct Strategy {
     stats: StrategyStats,
     // Optional shadow-copy correctness oracle (see crate::mirror).
     mirror: Option<MirrorOracle>,
+    // Optional shared event-trace ring, dumped when the oracle fires.
+    trace: Option<attache_metrics::SharedTraceRing>,
 }
 
 impl Strategy {
@@ -153,6 +155,7 @@ impl Strategy {
             images: HashMap::new(),
             stats: StrategyStats::default(),
             mirror: None,
+            trace: None,
         }
     }
 
@@ -170,6 +173,31 @@ impl Strategy {
         self.mirror = Some(MirrorOracle::new());
     }
 
+    /// Test hook: poison the (enabled) mirror oracle's records so the
+    /// first checked re-read of a written-back line fails — exercising
+    /// the failure-context dump path. No-op without a mirror.
+    pub fn poison_mirror(&mut self) {
+        if let Some(m) = self.mirror.as_mut() {
+            m.poison();
+        }
+    }
+
+    /// Shares an event-trace ring with this strategy; its contents are
+    /// appended to the panic message when the mirror oracle fires.
+    pub fn set_trace(&mut self, ring: attache_metrics::SharedTraceRing) {
+        self.trace = Some(ring);
+    }
+
+    /// The attached trace ring's dump, prefixed with a newline, or the
+    /// empty string when no ring is attached. Evaluated only inside
+    /// failure paths.
+    fn trace_dump(&self) -> String {
+        self.trace
+            .as_ref()
+            .map(|r| format!("\n{}", attache_metrics::dump_shared(r)))
+            .unwrap_or_default()
+    }
+
     /// The mirror oracle's activity counters, if it is enabled.
     pub fn mirror_stats(&self) -> Option<MirrorStats> {
         self.mirror.as_ref().map(|m| m.stats())
@@ -183,7 +211,11 @@ impl Strategy {
     fn mirror_check_decoded(&mut self, line: u64, decoded: &[u8; 64]) {
         if let Some(mirror) = self.mirror.as_mut() {
             if let Err(m) = mirror.check_read(line, decoded) {
-                panic!("[attache-sim] {} mirror oracle: {m}", self.kind);
+                panic!(
+                    "[attache-sim] {} mirror oracle: {m}{}",
+                    self.kind,
+                    self.trace_dump()
+                );
             }
         }
     }
@@ -197,8 +229,9 @@ impl Strategy {
             assert!(
                 mirror.recorded(line).is_none(),
                 "[attache-sim] {} mirror oracle: line {line:#x} was written back \
-                 but the read took the pristine path",
-                self.kind
+                 but the read took the pristine path{}",
+                self.kind,
+                self.trace_dump()
             );
         }
     }
@@ -219,8 +252,9 @@ impl Strategy {
         assert_eq!(
             comp, expect,
             "[attache-sim] {} mirror oracle: line {line:#x} classified \
-             compressed={comp} but the stored bytes compress to {expect}",
-            self.kind
+             compressed={comp} but the stored bytes compress to {expect}{}",
+            self.kind,
+            self.trace_dump()
         );
     }
 
@@ -397,7 +431,7 @@ impl Strategy {
                 }
                 let predicted = predicted.expect("attache reads carry a prediction");
                 let copr = self.copr.as_mut().expect("copr present");
-                copr.record(predicted, actual);
+                copr.record(line, predicted, actual);
                 copr.train(line, actual);
                 let mut follow = Vec::new();
                 if predicted && !actual {
@@ -552,6 +586,22 @@ impl Strategy {
     /// COPR accuracy counters (Attaché only).
     pub fn copr_stats(&self) -> Option<attache_core::copr::CoprStats> {
         self.copr.as_ref().map(|c| c.stats())
+    }
+
+    /// COPR accuracy counters split by the predictor component that
+    /// answered, in priority order (Attaché only).
+    pub fn copr_source_stats(
+        &self,
+    ) -> Option<[(&'static str, attache_core::copr::CoprStats); 4]> {
+        use attache_core::copr::CoprSource;
+        self.copr
+            .as_ref()
+            .map(|c| CoprSource::ALL.map(|s| (s.key(), c.source_stats(s))))
+    }
+
+    /// BLEM XID 0→1 forcings among write collisions (Attaché only).
+    pub fn blem_xid_flips(&self) -> Option<u64> {
+        self.blem.as_ref().map(|b| b.xid_flips())
     }
 
     /// BLEM counters (Attaché only).

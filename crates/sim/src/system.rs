@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use crate::backend::MemoryBackend;
 use crate::config::{EngineKind, SimConfig};
 use crate::core_model::{Core, MemState, Slot};
+use crate::observe::{Observation, Observer};
 use crate::stats::RunReport;
 use crate::strategy::{ReqSpec, Strategy};
 
@@ -97,6 +98,10 @@ pub struct System {
     /// flush pass. While unchanged, every retry would be rejected again,
     /// so the pass is skipped.
     flush_gen: u64,
+    /// Observability sampler/tracer — present only when a knob is on
+    /// (`ATTACHE_EPOCH` / `ATTACHE_TRACE_RING` or their builders). A
+    /// pure observer: never consulted by any model decision.
+    observer: Option<Box<Observer>>,
 }
 
 // The experiment harness fans simulations out across worker threads, so a
@@ -112,19 +117,39 @@ impl System {
     /// Runs `profile` in rate mode (all cores execute the same profile, as
     /// in the paper's single-benchmark experiments) and reports.
     pub fn run_rate_mode(cfg: &SimConfig, profile: Profile, seed: u64) -> RunReport {
+        Self::run_rate_mode_observed(cfg, profile, seed).0
+    }
+
+    /// [`run_rate_mode`](Self::run_rate_mode) plus the run's
+    /// [`Observation`] when any observability knob is on.
+    pub fn run_rate_mode_observed(
+        cfg: &SimConfig,
+        profile: Profile,
+        seed: u64,
+    ) -> (RunReport, Option<Observation>) {
         let name = profile.name.to_string();
         let profiles = vec![profile; cfg.core.cores];
-        Self::run_profiles(cfg, &profiles, &name, seed)
+        Self::run_profiles_observed(cfg, &profiles, &name, seed)
     }
 
     /// Runs an 8-threaded mixed workload.
     pub fn run_mix(cfg: &SimConfig, mix: &MixWorkload, seed: u64) -> RunReport {
+        Self::run_mix_observed(cfg, mix, seed).0
+    }
+
+    /// [`run_mix`](Self::run_mix) plus the run's [`Observation`] when
+    /// any observability knob is on.
+    pub fn run_mix_observed(
+        cfg: &SimConfig,
+        mix: &MixWorkload,
+        seed: u64,
+    ) -> (RunReport, Option<Observation>) {
         assert_eq!(
             mix.cores.len(),
             cfg.core.cores,
             "mix must provide one profile per core"
         );
-        Self::run_profiles(cfg, &mix.cores, mix.name, seed)
+        Self::run_profiles_observed(cfg, &mix.cores, mix.name, seed)
     }
 
     /// Runs one profile per core: warm-up, stats reset, measured region.
@@ -134,6 +159,19 @@ impl System {
     /// criterion. (Waiting for every core individually would measure the
     /// max over per-core tails, which is noisy.)
     pub fn run_profiles(cfg: &SimConfig, profiles: &[Profile], name: &str, seed: u64) -> RunReport {
+        Self::run_profiles_observed(cfg, profiles, name, seed).0
+    }
+
+    /// [`run_profiles`](Self::run_profiles) plus the run's
+    /// [`Observation`] when any observability knob is on. The
+    /// observation covers the measured region only (the registry and
+    /// series are cleared at the warm-up boundary).
+    pub fn run_profiles_observed(
+        cfg: &SimConfig,
+        profiles: &[Profile],
+        name: &str,
+        seed: u64,
+    ) -> (RunReport, Option<Observation>) {
         assert_eq!(profiles.len(), cfg.core.cores, "one profile per core");
         let mut sys = Self::build(cfg, profiles, seed);
         let cores = cfg.core.cores as u64;
@@ -143,7 +181,13 @@ impl System {
         sys.reset_stats();
         let measured_base: u64 = sys.cores.iter().map(|c| c.retired).sum();
         sys.run_until(measured_base + cores * cfg.instructions_per_core);
-        sys.report_measured(name, measured_base)
+        let report = sys.report_measured(name, measured_base);
+        let now = sys.mem.now();
+        let observation = sys
+            .observer
+            .as_mut()
+            .map(|o| o.finish(now, &sys.mem, &sys.llc, &sys.strategy, &sys.cfg));
+        (report, observation)
     }
 
     fn build(cfg: &SimConfig, profiles: &[Profile], seed: u64) -> Self {
@@ -163,6 +207,15 @@ impl System {
         if cfg.mirror {
             strategy.enable_mirror();
         }
+        if cfg.mirror_poison {
+            strategy.poison_mirror();
+        }
+        let observer = Observer::from_config(cfg);
+        let mut mem = MemorySystem::new(cfg.dram, cfg.power);
+        if let Some(ring) = observer.as_ref().and_then(|o| o.ring.clone()) {
+            strategy.set_trace(ring.clone());
+            mem.set_trace(ring);
+        }
         let cores = profiles
             .iter()
             .enumerate()
@@ -181,7 +234,7 @@ impl System {
             cfg: cfg.clone(),
             cores,
             llc: attache_cache::Llc::new(cfg.llc),
-            mem: MemorySystem::new(cfg.dram, cfg.power),
+            mem,
             strategy,
             backend,
             txns: HashMap::new(),
@@ -194,6 +247,7 @@ impl System {
             cpu_accum: 0,
             core_wake: vec![0; cfg.core.cores],
             flush_gen: u64::MAX,
+            observer,
         }
     }
 
@@ -270,6 +324,7 @@ impl System {
     fn bus_tick_event(&mut self) {
         self.mem.tick_event();
         let completions = self.mem.drain_completions();
+        self.observe_completions(&completions);
         for c in completions {
             // `finish_txn` invalidates the wakes of exactly the cores each
             // completion can unblock.
@@ -305,6 +360,7 @@ impl System {
                 self.core_wake[i] = wake;
             }
         }
+        self.observe_tick();
     }
 
     /// Skips `span` bus cycles known to be event-free: bulk-accounts DRAM
@@ -347,7 +403,18 @@ impl System {
         // No explicit retry term: a retried request can only become
         // acceptable after a channel state mutation, and every mutation
         // happens on a cycle the memory bound already covers.
-        horizon.min(self.mem.next_event_cached().max(soon))
+        horizon = horizon.min(self.mem.next_event_cached().max(soon));
+        // Epoch sampling must observe the exact boundary cycle the
+        // per-cycle engine samples at, so it is an event. (A forced tick
+        // on a quiescent cycle is a no-op by the engine contract —
+        // horizon underestimates are always safe.)
+        if let Some(obs) = self.observer.as_ref() {
+            let ns = obs.next_sample();
+            if ns != u64::MAX {
+                horizon = horizon.min(ns.max(soon));
+            }
+        }
+        horizon
     }
 
     /// When `core` can next make progress: refill the ROB, issue a stalled
@@ -414,11 +481,16 @@ impl System {
         self.mem.reset_stats();
         self.llc.reset_stats();
         self.strategy.reset_stats();
+        let now = self.mem.now();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.reset(now);
+        }
     }
 
     fn bus_tick(&mut self) {
         self.mem.tick();
         let completions = self.mem.drain_completions();
+        self.observe_completions(&completions);
         for c in completions {
             self.on_completion(c);
         }
@@ -433,6 +505,46 @@ impl System {
                 self.cpu_cycle(core);
             }
             self.cores = cores;
+        }
+        self.observe_tick();
+    }
+
+    /// Feeds this tick's completions to the observer: read-latency
+    /// histogram points, and decoded completion events for the trace
+    /// ring. No-op without an observer.
+    fn observe_completions(&mut self, completions: &[Completion]) {
+        let Some(obs) = self.observer.as_mut() else {
+            return;
+        };
+        let want_events = obs.wants_events();
+        for c in completions {
+            if c.request.kind == AccessKind::Read {
+                let ch = self.mem.channel_of(c.request.line_addr);
+                obs.record_read_latency(ch, c.latency());
+            }
+            if want_events {
+                obs.push_event(
+                    c.finished_at,
+                    format!(
+                        "complete id={} line={:#x} {:?} {:?} {:?} latency={}",
+                        c.request.id,
+                        c.request.line_addr,
+                        c.request.kind,
+                        c.request.width,
+                        c.request.origin,
+                        c.latency()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// End-of-tick observer hook: takes an epoch snapshot when the
+    /// epoch clock expires. No-op without an observer.
+    fn observe_tick(&mut self) {
+        let now = self.mem.now();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_tick(now, &self.mem, &self.llc, &self.strategy, &self.cfg);
         }
     }
 
@@ -563,6 +675,17 @@ impl System {
         };
         if let Some(t) = txn {
             self.txn_by_req.insert(id, t);
+        }
+        if let Some(obs) = self.observer.as_ref() {
+            if obs.wants_events() {
+                obs.push_event(
+                    self.mem.now(),
+                    format!(
+                        "submit id={id} line={:#x} {:?} {:?} {:?} arrival={}",
+                        req.line_addr, req.kind, req.width, req.origin, req.arrival
+                    ),
+                );
+            }
         }
         if delay > 0 {
             self.delayed.push(Reverse(DelayedReq {

@@ -1,0 +1,50 @@
+//! Regression tests for the observability environment knobs.
+//!
+//! The contract (see `crates/sim/src/env.rs`): unset, empty, and `"0"`
+//! all mean *disabled*; an unparsable value warns on stderr and falls
+//! back — it must never panic a run. The original bug class this pins:
+//! a typo'd `ATTACHE_EPOCH=10k` killing a multi-hour sweep at startup.
+//!
+//! All scenarios live in ONE `#[test]` because the test harness runs
+//! functions of a binary concurrently and `set_var` is process-global;
+//! a second env-mutating test here would race this one.
+
+use attache_sim::{env_u64, env_u64_opt, SimConfig};
+
+#[test]
+fn env_knob_parsing_is_total() {
+    // Invalid value: warns and stays disabled — must not panic.
+    std::env::set_var("ATTACHE_EPOCH", "10k");
+    assert_eq!(env_u64_opt("ATTACHE_EPOCH"), None);
+    let cfg = SimConfig::table2_baseline();
+    assert_eq!(cfg.epoch, None, "a typo'd ATTACHE_EPOCH must fall back to disabled");
+
+    // "0" and "" both mean disabled.
+    std::env::set_var("ATTACHE_EPOCH", "0");
+    assert_eq!(env_u64_opt("ATTACHE_EPOCH"), None);
+    std::env::set_var("ATTACHE_EPOCH", "");
+    assert_eq!(env_u64_opt("ATTACHE_EPOCH"), None);
+
+    // A valid value enables the knob and reaches the config.
+    std::env::set_var("ATTACHE_EPOCH", "50000");
+    assert_eq!(env_u64_opt("ATTACHE_EPOCH"), Some(50_000));
+    assert_eq!(SimConfig::table2_baseline().epoch, Some(50_000));
+
+    // Unset means disabled.
+    std::env::remove_var("ATTACHE_EPOCH");
+    assert_eq!(env_u64_opt("ATTACHE_EPOCH"), None);
+
+    // The same contract holds for the ring knob...
+    std::env::set_var("ATTACHE_TRACE_RING", "lots");
+    assert_eq!(env_u64_opt("ATTACHE_TRACE_RING"), None);
+    std::env::set_var("ATTACHE_TRACE_RING", "256");
+    assert_eq!(SimConfig::table2_baseline().trace_ring, Some(256));
+    std::env::remove_var("ATTACHE_TRACE_RING");
+
+    // ...and for the defaulting variant used by the bench harness.
+    std::env::set_var("ATTACHE_ENV_KNOB_TEST", "not-a-number");
+    assert_eq!(env_u64("ATTACHE_ENV_KNOB_TEST", 42), 42);
+    std::env::set_var("ATTACHE_ENV_KNOB_TEST", "7");
+    assert_eq!(env_u64("ATTACHE_ENV_KNOB_TEST", 42), 7);
+    std::env::remove_var("ATTACHE_ENV_KNOB_TEST");
+}

@@ -35,10 +35,39 @@ echo "=== mirror oracle + DRAM conformance under ATTACHE_ENGINE=event ==="
 ATTACHE_QUICK=1 ATTACHE_ENGINE=event ATTACHE_MIRROR=1 ATTACHE_CONFORMANCE=1 \
     cargo test -q -p attache-sim -p attache-dram --release
 
+# The observability layer: the golden-stats snapshots pin the full
+# metric registry (4 strategies, byte-identical across both engines
+# by the test's own cross-engine assertion) against tests/goldens/,
+# and the purity/ring-dump suite proves the observer never perturbs a
+# RunReport. Run once per engine so the ambient-engine paths stay
+# covered too.
+echo "=== golden stats + observability under ATTACHE_ENGINE=cycle ==="
+ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release \
+    --test golden_stats --test observability --test env_knobs
+
+echo "=== golden stats + observability under ATTACHE_ENGINE=event ==="
+ATTACHE_ENGINE=event cargo test -q -p attache-sim --release \
+    --test golden_stats --test observability --test env_knobs
+
+# Knobs-on smoke: one real figure binary with epoch sampling and the
+# trace ring enabled end-to-end, checking the series export lands on
+# disk. Uses a throwaway results dir so the CI cache stays clean.
+echo "=== observability smoke (ATTACHE_EPOCH + ATTACHE_TRACE_RING) ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+ATTACHE_QUICK=1 ATTACHE_NO_CACHE=1 ATTACHE_RESULTS="$SMOKE_DIR" \
+    ATTACHE_EPOCH=50000 ATTACHE_TRACE_RING=256 \
+    ./target/release/ablation_cid_width
+ls "$SMOKE_DIR"/series/*.series.csv > /dev/null \
+    || { echo "observability smoke: no series export found"; exit 1; }
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "=== cargo clippy (attache-testkit) -- -D warnings ==="
 cargo clippy -p attache-testkit --all-targets -- -D warnings
+
+echo "=== cargo clippy (attache-metrics) -- -D warnings ==="
+cargo clippy -p attache-metrics --all-targets -- -D warnings
 
 echo "CI OK"
