@@ -48,19 +48,29 @@ pub enum WorkloadRef {
 }
 
 impl WorkloadRef {
+    /// Resolves a catalog name: a profile name, else a mix name. The
+    /// error lists every valid name, so a typo in a sweep script is a
+    /// one-glance fix instead of a scavenger hunt.
+    pub fn try_by_name(name: &str) -> Result<WorkloadRef, UnknownWorkload> {
+        if Profile::by_name(name).is_some() {
+            Ok(WorkloadRef::Rate(name.to_string()))
+        } else if mixes().iter().any(|m| m.name == name) {
+            Ok(WorkloadRef::Mix(name.to_string()))
+        } else {
+            Err(UnknownWorkload {
+                name: name.to_string(),
+            })
+        }
+    }
+
     /// Resolves a catalog name: a profile name, else a mix name.
     ///
     /// # Panics
     ///
-    /// Panics when the name is in neither catalog.
+    /// Panics when the name is in neither catalog; prefer
+    /// [`try_by_name`](Self::try_by_name) where the name is user input.
     pub fn by_name(name: &str) -> WorkloadRef {
-        if Profile::by_name(name).is_some() {
-            WorkloadRef::Rate(name.to_string())
-        } else if mixes().iter().any(|m| m.name == name) {
-            WorkloadRef::Mix(name.to_string())
-        } else {
-            panic!("unknown workload {name:?}");
-        }
+        Self::try_by_name(name).unwrap_or_else(|e| panic!("unknown workload {name:?}: {e}"))
     }
 
     /// The display name (as it appears in figures).
@@ -93,11 +103,65 @@ impl WorkloadRef {
     }
 }
 
-fn find_mix(name: &str) -> MixWorkload {
+/// Error for a workload name found in neither the profile nor the mix
+/// catalog. The Display form lists every valid name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let profiles: Vec<String> = attache_workloads::all_rate_profiles()
+            .iter()
+            .map(|p| p.name.to_string())
+            .collect();
+        let mix_names: Vec<&'static str> = mixes().iter().map(|m| m.name).collect();
+        write!(
+            f,
+            "workload {:?} is in neither catalog (profiles: {}; mixes: {})",
+            self.name,
+            profiles.join(", "),
+            mix_names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Error for a mix name not in the mix catalog; Display lists the valid
+/// names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMix {
+    name: String,
+}
+
+impl std::fmt::Display for UnknownMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&'static str> = mixes().iter().map(|m| m.name).collect();
+        write!(
+            f,
+            "mix {:?} is not in the catalog (valid mixes: {})",
+            self.name,
+            names.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMix {}
+
+/// Looks a mix up by name, with an error listing the valid names.
+pub fn try_find_mix(name: &str) -> Result<MixWorkload, UnknownMix> {
     mixes()
         .into_iter()
         .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("unknown mix {name:?}"))
+        .ok_or_else(|| UnknownMix {
+            name: name.to_string(),
+        })
+}
+
+fn find_mix(name: &str) -> MixWorkload {
+    try_find_mix(name).unwrap_or_else(|e| panic!("unknown mix {name:?}: {e}"))
 }
 
 /// A declarative COPR composition (Fig. 17's ablation axis). Kept symbolic
@@ -145,6 +209,16 @@ pub struct Overrides {
     pub cid_bits: Option<u8>,
     /// COPR composition (Fig. 17's axis).
     pub copr: Option<CoprVariant>,
+    /// Caps the workload's footprint (in cache lines), forcing DRAM-level
+    /// reuse into smoke-length runs. Chaos and executor tests use this to
+    /// guarantee written-back lines are re-read within a few thousand
+    /// instructions; the paper's grids leave it unset.
+    pub footprint_lines: Option<u64>,
+    /// Test hook: run with a *poisoned* mirror oracle (plus a small
+    /// trace ring and a shrunken LLC), so the job deterministically
+    /// panics on its first checked re-read — exercising the resilient
+    /// executor's quarantine-and-continue path end to end.
+    pub mirror_poison: bool,
 }
 
 impl Overrides {
@@ -161,6 +235,14 @@ impl Overrides {
         }
         if let Some(v) = self.copr {
             parts.push(format!("copr={}", v.key()));
+        }
+        if let Some(f) = self.footprint_lines {
+            parts.push(format!("fp={f}"));
+        }
+        if self.mirror_poison {
+            // Part of the job identity: a poisoned run must never share
+            // a cache entry or a seed with the healthy grid point.
+            parts.push("poison".to_string());
         }
         if parts.is_empty() {
             "-".to_string()
@@ -223,7 +305,7 @@ impl JobSpec {
         )
     }
 
-    fn cache_path(&self, cfg: &ExperimentConfig) -> PathBuf {
+    pub(crate) fn cache_path(&self, cfg: &ExperimentConfig) -> PathBuf {
         let hash = fnv1a64(self.cache_key(cfg).as_bytes());
         cfg.cache_dir().join(format!("{hash:016x}.report"))
     }
@@ -252,6 +334,17 @@ impl JobSpec {
         if let Some(v) = self.overrides.copr {
             sim.copr = Some(v.config(self.workload.occupied_lines(sim.core.cores)));
         }
+        if self.overrides.mirror_poison {
+            sim = sim
+                .with_mirror(true)
+                .with_mirror_poison(true)
+                .with_trace_ring(Some(64));
+            // A tiny LLC guarantees dirty evictions and checked
+            // re-reads even in smoke-length runs; without them the
+            // poison never surfaces and the job cannot fail. Pair with
+            // `Overrides::footprint_lines` so evicted lines get re-read.
+            sim.llc.size_bytes = 16 << 10;
+        }
         sim
     }
 
@@ -270,10 +363,21 @@ impl JobSpec {
         let seed = self.seed(cfg.seed);
         match &self.workload {
             WorkloadRef::Rate(name) => {
-                let p = Profile::by_name(name).expect("rate workload exists");
+                let mut p = Profile::by_name(name).expect("rate workload exists");
+                if let Some(f) = self.overrides.footprint_lines {
+                    p.footprint_lines = f;
+                }
                 System::run_rate_mode_observed(&sim, p, seed)
             }
-            WorkloadRef::Mix(name) => System::run_mix_observed(&sim, &find_mix(name), seed),
+            WorkloadRef::Mix(name) => {
+                let mut mix = find_mix(name);
+                if let Some(f) = self.overrides.footprint_lines {
+                    for core in &mut mix.cores {
+                        core.footprint_lines = f;
+                    }
+                }
+                System::run_mix_observed(&sim, &mix, seed)
+            }
         }
     }
 
@@ -382,12 +486,22 @@ impl Grid {
     }
 }
 
-fn load_cached(path: &PathBuf, key: &str) -> Option<RunReport> {
+pub(crate) fn load_cached(path: &PathBuf, key: &str) -> Option<RunReport> {
     let text = std::fs::read_to_string(path).ok()?;
-    report_io::from_text(&text, Some(key))
+    let report = report_io::from_text(&text, Some(key));
+    if report.is_none() {
+        // A torn write, bit rot, or a stale file from an older layout:
+        // all are recoverable by recomputing, so degrade to a miss — but
+        // loudly, because a cache that silently churns is a perf bug.
+        eprintln!(
+            "[attache-grid] warning: cache file {} is corrupt or stale; ignoring it (cache miss)",
+            path.display()
+        );
+    }
+    report
 }
 
-fn store_cached(path: &PathBuf, report: &RunReport, key: &str) {
+pub(crate) fn store_cached(path: &PathBuf, report: &RunReport, key: &str) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -440,7 +554,7 @@ where
         .collect()
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -598,5 +712,53 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = WorkloadRef::by_name("no-such-benchmark");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mix")]
+    fn unknown_mix_panics() {
+        let _ = find_mix("no-such-mix");
+    }
+
+    #[test]
+    fn unknown_name_errors_list_the_catalogs() {
+        let e = WorkloadRef::try_by_name("no-such-benchmark").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("no-such-benchmark"), "{msg}");
+        assert!(msg.contains("mcf"), "must list profiles: {msg}");
+        assert!(msg.contains("mix1"), "must list mixes: {msg}");
+        let e = try_find_mix("no-such-mix").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("mix1"), "must list mixes: {msg}");
+    }
+
+    #[test]
+    fn corrupt_cache_file_reads_as_miss() {
+        let dir = std::env::temp_dir().join(format!(
+            "attache-grid-corrupt-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.report");
+        std::fs::write(&path, "}{ definitely not a report \u{0}\u{1}").unwrap();
+        assert!(
+            load_cached(&path, "any-key").is_none(),
+            "garbage must degrade to a miss, not a panic or a bogus report"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_override_changes_the_job_identity() {
+        let healthy =
+            JobSpec::new(WorkloadRef::Rate("mcf".into()), MetadataStrategyKind::Attache);
+        let mut poisoned = healthy.clone();
+        poisoned.overrides.mirror_poison = true;
+        assert_ne!(healthy.seed(42), poisoned.seed(42));
+        assert_ne!(healthy.cache_key(&cfg()), poisoned.cache_key(&cfg()));
+        assert!(poisoned.label().contains("poison"), "{}", poisoned.label());
+        let sim = poisoned.sim_config(&cfg());
+        assert!(sim.mirror && sim.mirror_poison);
+        assert_eq!(sim.trace_ring, Some(64));
     }
 }

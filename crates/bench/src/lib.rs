@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod resilient;
 pub mod results;
 pub mod runner;
 
 pub use grid::{parallel_map, CoprVariant, Grid, JobSpec, Overrides, WorkloadRef};
+pub use resilient::{run_resilient, JobOutcome};
 pub use results::{ResultRow, ResultSet};
 pub use runner::{geo_mean, ExperimentConfig};

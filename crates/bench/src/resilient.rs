@@ -1,0 +1,429 @@
+//! The resilient grid executor: crash-safe, resumable sweeps.
+//!
+//! [`Grid::run`](crate::grid::Grid::run) assumes every job completes; a
+//! single panicking grid point (a model bug on one configuration, a
+//! mirror-oracle hit, a pathological run that never terminates) kills
+//! the whole sweep and throws away hours of sibling work. This module
+//! wraps the same worker pool with four guarantees:
+//!
+//! * **Isolation.** Each job runs under [`std::panic::catch_unwind`]; a
+//!   poisoned job is quarantined with its failure context (the panic
+//!   message, which carries the trace-ring dump when a ring is attached)
+//!   under `results/failures/<job>.txt`, and every other job completes.
+//! * **Bounded retries.** Panicked jobs are retried with exponential
+//!   backoff up to `ATTACHE_JOB_RETRIES` times (default 1 retry) before
+//!   quarantine — one flaky environmental hiccup does not cost a grid
+//!   point.
+//! * **Watchdog.** With `ATTACHE_JOB_TICK_BUDGET=<bus cycles>` set, a
+//!   runaway simulation panics with a typed
+//!   [`TickBudgetExceeded`] payload, which the executor converts into a
+//!   structured [`JobOutcome::TimedOut`] instead of a crash. Timeouts
+//!   are deterministic, so they are not retried.
+//! * **Checkpointing.** Completed and quarantined jobs are journaled to
+//!   `results/checkpoint.json` (atomic write-then-rename after every
+//!   job). With `ATTACHE_RESUME=1`, a re-run reloads finished jobs from
+//!   the report cache and re-executes only quarantined or never-started
+//!   ones — a killed sweep resumes instead of restarting.
+//!
+//! `ATTACHE_JOB_LIMIT=<n>` caps the number of jobs *executed* in one
+//! invocation (cache hits and resumed jobs are free); jobs past the cap
+//! return [`JobOutcome::Deferred`]. Together with `ATTACHE_RESUME` this
+//! also gives tests a deterministic "kill the sweep mid-way" lever.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use attache_sim::{env_u64, RunReport, TickBudgetExceeded};
+
+use crate::grid::{Grid, JobSpec};
+use crate::runner::ExperimentConfig;
+
+/// Checkpoint journal format version; bumped on layout changes so an
+/// old journal is discarded instead of misread.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// What happened to one grid job under the resilient executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job completed — freshly executed, from the report cache, or
+    /// reloaded via an `ATTACHE_RESUME` checkpoint.
+    Done(Box<RunReport>),
+    /// The cooperative tick-budget watchdog cut the run off
+    /// (`ATTACHE_JOB_TICK_BUDGET`). Deterministic, so never retried.
+    TimedOut {
+        /// The configured budget in bus cycles.
+        budget: u64,
+        /// The bus cycle at which the run was stopped.
+        at_tick: u64,
+    },
+    /// The job panicked on every attempt and was quarantined.
+    Panicked {
+        /// The final attempt's panic message (includes the trace-ring
+        /// dump when a ring was attached).
+        message: String,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// Not attempted in this invocation (`ATTACHE_JOB_LIMIT` reached);
+    /// a later `ATTACHE_RESUME=1` run picks it up.
+    Deferred,
+}
+
+impl JobOutcome {
+    /// The completed report, when there is one.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            JobOutcome::Done(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Whether the job failed (timed out or quarantined). `Deferred` is
+    /// not a failure — it simply has not run yet.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, JobOutcome::TimedOut { .. } | JobOutcome::Panicked { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryStatus {
+    Done,
+    Quarantined,
+}
+
+impl EntryStatus {
+    fn key(self) -> &'static str {
+        match self {
+            EntryStatus::Done => "done",
+            EntryStatus::Quarantined => "quarantined",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<EntryStatus> {
+        match key {
+            "done" => Some(EntryStatus::Done),
+            "quarantined" => Some(EntryStatus::Quarantined),
+            _ => None,
+        }
+    }
+}
+
+/// The journaled sweep state: one status per job cache-key hash. Written
+/// as line-delimited JSON — a header object, then one object per job —
+/// rewritten whole (write-tmp-then-rename) after every job so a kill at
+/// any instant leaves either the old or the new journal, never a torn
+/// one.
+#[derive(Debug)]
+struct Checkpoint {
+    tag: String,
+    entries: HashMap<String, EntryStatus>,
+}
+
+impl Checkpoint {
+    fn new(tag: String) -> Self {
+        Self {
+            tag,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Loads a journal written by a previous run of the *same*
+    /// configuration; a missing file, an unreadable line, a version
+    /// bump, or a different config tag all yield an empty checkpoint
+    /// (re-run everything — always safe, never wrong).
+    fn load(path: &Path, tag: String) -> Self {
+        let mut ckpt = Self::new(tag);
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return ckpt;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return ckpt;
+        };
+        let version_ok = json_str_field(header, "version")
+            .is_some_and(|v| v.parse() == Ok(CHECKPOINT_VERSION));
+        let tag_ok = json_str_field(header, "config").as_deref() == Some(ckpt.tag.as_str());
+        if !version_ok || !tag_ok {
+            eprintln!(
+                "[attache-resilient] checkpoint {} is for a different \
+                 configuration or format; starting fresh",
+                path.display()
+            );
+            return ckpt;
+        }
+        for line in lines {
+            let (Some(key), Some(status)) = (
+                json_str_field(line, "key"),
+                json_str_field(line, "status").and_then(|s| EntryStatus::from_key(&s)),
+            ) else {
+                continue;
+            };
+            ckpt.entries.insert(key, status);
+        }
+        ckpt
+    }
+
+    fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut text = format!(
+            "{{\"version\": \"{CHECKPOINT_VERSION}\", \"config\": \"{}\"}}\n",
+            self.tag
+        );
+        // Sorted for a stable, diffable journal.
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(key, _)| key.as_str());
+        for (key, status) in entries {
+            text.push_str(&format!(
+                "{{\"key\": \"{key}\", \"status\": \"{}\"}}\n",
+                status.key()
+            ));
+        }
+        let tmp = path.with_extension("tmp");
+        if let Err(e) = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path)) {
+            eprintln!(
+                "[attache-resilient] warning: could not journal checkpoint at {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Extracts the string value of `"field": "..."` from a single-line JSON
+/// object. The journal's values (hex hashes, config tags, status names)
+/// never contain quotes or escapes, so plain scanning is exact here.
+fn json_str_field(line: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\"");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The checkpoint journal's location for `cfg`.
+pub fn checkpoint_path(cfg: &ExperimentConfig) -> PathBuf {
+    cfg.results_dir().join("checkpoint.json")
+}
+
+/// The quarantine directory for `cfg` (one `.txt` per failed job).
+pub fn failures_dir(cfg: &ExperimentConfig) -> PathBuf {
+    cfg.results_dir().join("failures")
+}
+
+fn resume_from_env() -> bool {
+    match std::env::var("ATTACHE_RESUME") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Executes every job of `grid` with per-job panic isolation, retries,
+/// the tick-budget watchdog, and checkpoint journaling (see the module
+/// docs). Returns one [`JobOutcome`] per job, in job order.
+pub fn run_resilient(grid: &Grid, cfg: &ExperimentConfig) -> Vec<JobOutcome> {
+    let retries = env_u64("ATTACHE_JOB_RETRIES", 1) as u32;
+    let job_limit = attache_sim::env_u64_opt("ATTACHE_JOB_LIMIT").map(|n| n as usize);
+    let resume = resume_from_env();
+    let use_cache = cfg.cache_enabled();
+    let ckpt_path = checkpoint_path(cfg);
+    let tag = cfg.tag();
+    let ckpt = Mutex::new(if resume {
+        Checkpoint::load(&ckpt_path, tag)
+    } else {
+        Checkpoint::new(tag)
+    });
+    let executed = AtomicUsize::new(0);
+    let total = grid.jobs().len();
+    let done_count = AtomicUsize::new(0);
+    let update = |hash: &str, status: EntryStatus| {
+        let mut c = ckpt.lock().expect("checkpoint lock poisoned");
+        c.entries.insert(hash.to_string(), status);
+        c.save(&ckpt_path);
+    };
+    crate::grid::parallel_map(cfg.workers(), grid.jobs(), |_, job| {
+        let key = job.cache_key(cfg);
+        let hash = format!("{:016x}", crate::grid::fnv1a64(key.as_bytes()));
+        let path = job.cache_path(cfg);
+        let journaled_done = resume
+            && ckpt.lock().expect("checkpoint lock poisoned").entries.get(&hash)
+                == Some(&EntryStatus::Done);
+        if journaled_done || use_cache {
+            // A journaled-done job *should* reload from the cache; if its
+            // file vanished or rotted, fall through and re-execute.
+            if let Some(report) = crate::grid::load_cached(&path, &key) {
+                let k = done_count.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[attache-resilient] [{k:>3}/{total}] {} {} (bus_cycles={})",
+                    job.label(),
+                    if journaled_done { "resumed" } else { "cached" },
+                    report.bus_cycles
+                );
+                update(&hash, EntryStatus::Done);
+                return JobOutcome::Done(Box::new(report));
+            }
+        }
+        if let Some(limit) = job_limit {
+            if executed.fetch_add(1, Ordering::Relaxed) >= limit {
+                return JobOutcome::Deferred;
+            }
+        }
+        let k = done_count.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("[attache-resilient] [{k:>3}/{total}] {} running...", job.label());
+        let outcome = run_one(job, cfg, retries);
+        match &outcome {
+            JobOutcome::Done(report) => {
+                if use_cache {
+                    crate::grid::store_cached(&path, report, &key);
+                }
+                update(&hash, EntryStatus::Done);
+            }
+            JobOutcome::TimedOut { budget, at_tick } => {
+                quarantine(
+                    cfg,
+                    job,
+                    &key,
+                    &format!("timed out at bus cycle {at_tick} (budget {budget})"),
+                    1,
+                );
+                update(&hash, EntryStatus::Quarantined);
+            }
+            JobOutcome::Panicked { message, attempts } => {
+                quarantine(cfg, job, &key, message, *attempts);
+                update(&hash, EntryStatus::Quarantined);
+            }
+            JobOutcome::Deferred => unreachable!("run_one never defers"),
+        }
+        outcome
+    })
+}
+
+/// One job, up to `1 + retries` attempts with exponential backoff.
+fn run_one(job: &JobSpec, cfg: &ExperimentConfig, retries: u32) -> JobOutcome {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| job.execute(cfg))) {
+            Ok(report) => return JobOutcome::Done(Box::new(report)),
+            Err(payload) => {
+                if let Some(t) = payload.downcast_ref::<TickBudgetExceeded>() {
+                    return JobOutcome::TimedOut {
+                        budget: t.budget,
+                        at_tick: t.now,
+                    };
+                }
+                let message = panic_message(payload);
+                if attempts > retries {
+                    return JobOutcome::Panicked { message, attempts };
+                }
+                eprintln!(
+                    "[attache-resilient] {} attempt {attempts} panicked ({}); retrying",
+                    job.label(),
+                    message.lines().next().unwrap_or("no message")
+                );
+                std::thread::sleep(backoff(attempts));
+            }
+        }
+    }
+}
+
+/// Exponential backoff before retry `attempt + 1`: 200ms, 400ms, ...
+/// capped at ~6.4s so a misconfigured retry count cannot stall a sweep.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(100u64 << attempt.min(6))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Writes the failure context for a quarantined job to
+/// `results/failures/<job>.txt`: the label, the full cache key, the
+/// attempt count, and the panic message — which already carries the
+/// trace-ring dump when the job ran with a ring attached.
+fn quarantine(cfg: &ExperimentConfig, job: &JobSpec, key: &str, message: &str, attempts: u32) {
+    let dir = failures_dir(cfg);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "[attache-resilient] warning: could not create {}: {e}",
+            dir.display()
+        );
+        return;
+    }
+    let path = dir.join(format!("{}.txt", job.export_stem(cfg)));
+    let text = format!(
+        "job: {}\ncache key: {key}\nattempts: {attempts}\n\n{message}\n",
+        job.label()
+    );
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!(
+            "[attache-resilient] warning: could not write quarantine file {}: {e}",
+            path.display()
+        );
+    } else {
+        eprintln!(
+            "[attache-resilient] {} quarantined; context in {}",
+            job.label(),
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_extraction() {
+        let line = "{\"key\": \"00ff\", \"status\": \"done\"}";
+        assert_eq!(json_str_field(line, "key").as_deref(), Some("00ff"));
+        assert_eq!(json_str_field(line, "status").as_deref(), Some("done"));
+        assert_eq!(json_str_field(line, "missing"), None);
+        assert_eq!(json_str_field("not json", "key"), None);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_rejects_other_configs() {
+        let dir = std::env::temp_dir().join(format!(
+            "attache-resilient-ckpt-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let mut c = Checkpoint::new("i100_w10_s42".to_string());
+        c.entries
+            .insert("00aa".to_string(), EntryStatus::Done);
+        c.entries
+            .insert("00bb".to_string(), EntryStatus::Quarantined);
+        c.save(&path);
+        let same = Checkpoint::load(&path, "i100_w10_s42".to_string());
+        assert_eq!(same.entries.len(), 2);
+        assert_eq!(same.entries.get("00aa"), Some(&EntryStatus::Done));
+        assert_eq!(same.entries.get("00bb"), Some(&EntryStatus::Quarantined));
+        // A different run configuration must not inherit the journal.
+        let other = Checkpoint::load(&path, "i200_w10_s42".to_string());
+        assert!(other.entries.is_empty());
+        // Garbage in the file degrades to an empty checkpoint.
+        std::fs::write(&path, "}{ torn").unwrap();
+        let torn = Checkpoint::load(&path, "i100_w10_s42".to_string());
+        assert!(torn.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        assert_eq!(backoff(1), Duration::from_millis(200));
+        assert_eq!(backoff(2), Duration::from_millis(400));
+        assert!(backoff(60) <= Duration::from_millis(6400));
+    }
+}

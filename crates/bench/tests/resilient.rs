@@ -1,0 +1,217 @@
+//! End-to-end suite for the resilient grid executor
+//! (`crates/bench/src/resilient.rs`): quarantine with failure context,
+//! the tick-budget watchdog, and crash-safe checkpoint/resume.
+//!
+//! Everything lives in ONE `#[test]` because every scenario mutates
+//! process-global `ATTACHE_*` variables and the harness runs a binary's
+//! tests concurrently; the phases share one environment and run in
+//! sequence. Run lengths are tiny — this exercises the executor, not the
+//! paper's numbers.
+
+use attache_bench::{
+    resilient, ExperimentConfig, Grid, JobOutcome, JobSpec, Overrides, WorkloadRef,
+};
+use attache_sim::MetadataStrategyKind;
+
+fn healthy_grid() -> Grid {
+    Grid::cross(
+        &[WorkloadRef::Rate("mcf".to_string()), WorkloadRef::Rate("lbm".to_string())],
+        &[MetadataStrategyKind::Baseline],
+    )
+}
+
+/// `healthy_grid` plus one job whose mirror oracle is deliberately
+/// poisoned (`Overrides::mirror_poison`), so it panics mid-simulation
+/// with a trace-ring dump in the message — the executor's worst case.
+/// The footprint cap forces a written-back line to be re-read (and its
+/// poisoned record checked) within a smoke-length run.
+fn poisoned_grid() -> Grid {
+    let mut grid = healthy_grid();
+    grid.push(JobSpec {
+        workload: WorkloadRef::Rate("mcf".to_string()),
+        strategy: MetadataStrategyKind::Attache,
+        overrides: Overrides {
+            mirror_poison: true,
+            footprint_lines: Some(4096),
+            ..Overrides::default()
+        },
+    });
+    grid
+}
+
+fn temp_dir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "attache-resilient-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn base_env(results_dir: &str) {
+    std::env::set_var("ATTACHE_QUICK", "1");
+    std::env::set_var("ATTACHE_INSTR", "3000");
+    std::env::set_var("ATTACHE_WARMUP", "600");
+    // One worker: ATTACHE_JOB_LIMIT then cuts the sweep at a
+    // deterministic job boundary, modelling a mid-sweep kill.
+    std::env::set_var("ATTACHE_WORKERS", "1");
+    // No backoff sleeps in tests.
+    std::env::set_var("ATTACHE_JOB_RETRIES", "0");
+    std::env::remove_var("ATTACHE_NO_CACHE");
+    std::env::remove_var("ATTACHE_RESUME");
+    std::env::remove_var("ATTACHE_JOB_LIMIT");
+    std::env::remove_var("ATTACHE_JOB_TICK_BUDGET");
+    std::env::set_var("ATTACHE_RESULTS", results_dir);
+}
+
+fn cleanup_env() {
+    for k in [
+        "ATTACHE_QUICK",
+        "ATTACHE_INSTR",
+        "ATTACHE_WARMUP",
+        "ATTACHE_WORKERS",
+        "ATTACHE_JOB_RETRIES",
+        "ATTACHE_NO_CACHE",
+        "ATTACHE_RESUME",
+        "ATTACHE_JOB_LIMIT",
+        "ATTACHE_JOB_TICK_BUDGET",
+        "ATTACHE_RESULTS",
+    ] {
+        std::env::remove_var(k);
+    }
+}
+
+#[test]
+fn resilient_executor_quarantines_resumes_and_times_out() {
+    // ---- Phase A: a poisoned job is quarantined; its siblings finish.
+    let dir = temp_dir("quarantine");
+    base_env(&dir);
+    let cfg = ExperimentConfig::from_env();
+    let grid = poisoned_grid();
+    let outcomes = resilient::run_resilient(&grid, &cfg);
+    assert_eq!(outcomes.len(), 3);
+    assert!(outcomes[0].report().is_some(), "healthy job 0 must complete");
+    assert!(outcomes[1].report().is_some(), "healthy job 1 must complete");
+    let JobOutcome::Panicked { message, attempts } = &outcomes[2] else {
+        panic!("poisoned job must be quarantined, got {:?}", outcomes[2]);
+    };
+    assert_eq!(*attempts, 1, "ATTACHE_JOB_RETRIES=0 means exactly one attempt");
+    assert!(
+        message.contains("mirror oracle"),
+        "the panic message must identify the oracle: {message}"
+    );
+    assert!(
+        message.contains("trace ring"),
+        "the poisoned job runs with a ring, so the failure context must \
+         carry the event dump: {message}"
+    );
+
+    // The quarantine file carries the same context for post-mortems.
+    let failure_path = resilient::failures_dir(&cfg)
+        .join(format!("{}.txt", grid.jobs()[2].export_stem(&cfg)));
+    let failure_text = std::fs::read_to_string(&failure_path)
+        .unwrap_or_else(|e| panic!("quarantine file {} must exist: {e}", failure_path.display()));
+    assert!(failure_text.contains("mirror oracle") && failure_text.contains("trace ring"));
+
+    // The checkpoint journal records two done jobs and one quarantined.
+    let journal = std::fs::read_to_string(resilient::checkpoint_path(&cfg)).unwrap();
+    assert_eq!(journal.matches("\"done\"").count(), 2, "journal: {journal}");
+    assert_eq!(journal.matches("\"quarantined\"").count(), 1, "journal: {journal}");
+
+    // ---- Phase B: ATTACHE_RESUME re-runs ONLY the quarantined job; the
+    // finished jobs come back byte-identical from the cache.
+    std::env::set_var("ATTACHE_RESUME", "1");
+    let resumed = resilient::run_resilient(&grid, &cfg);
+    assert_eq!(
+        resumed[0].report(),
+        outcomes[0].report(),
+        "a resumed finished job must reproduce its report exactly"
+    );
+    assert_eq!(resumed[1].report(), outcomes[1].report());
+    assert!(resumed[2].is_failure(), "the poisoned job fails again on resume");
+    std::env::remove_var("ATTACHE_RESUME");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Phase C: ATTACHE_JOB_LIMIT models a mid-sweep kill; resume
+    // completes the rest and the union is byte-identical to an
+    // uninterrupted sweep.
+    let dir = temp_dir("resume");
+    base_env(&dir);
+    let cfg = ExperimentConfig::from_env();
+    let grid = healthy_grid();
+    std::env::set_var("ATTACHE_JOB_LIMIT", "1");
+    let partial = resilient::run_resilient(&grid, &cfg);
+    assert!(partial[0].report().is_some(), "the first job fits the limit");
+    assert_eq!(partial[1], JobOutcome::Deferred, "the second job must be cut off");
+    std::env::remove_var("ATTACHE_JOB_LIMIT");
+    std::env::set_var("ATTACHE_RESUME", "1");
+    let completed = resilient::run_resilient(&grid, &cfg);
+    let reports: Vec<_> = completed
+        .iter()
+        .map(|o| o.report().expect("resume completes every job").clone())
+        .collect();
+    std::env::remove_var("ATTACHE_RESUME");
+
+    // The ground truth: the plain grid engine in a fresh directory.
+    let baseline_dir = temp_dir("baseline");
+    std::env::set_var("ATTACHE_RESULTS", &baseline_dir);
+    let baseline = grid.run(&ExperimentConfig::from_env());
+    assert_eq!(
+        reports, baseline,
+        "a killed-and-resumed sweep must be byte-identical to an uninterrupted one"
+    );
+
+    // ---- Phase C2: corrupt cache entries read as a (warned) miss; the
+    // jobs re-run and overwrite them with valid reports.
+    std::env::set_var("ATTACHE_RESULTS", &dir);
+    let garbage = b"}} definitely not a report {{";
+    let cache_files: Vec<_> = std::fs::read_dir(cfg.cache_dir())
+        .expect("cache dir exists after the sweep")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "report"))
+        .collect();
+    assert_eq!(cache_files.len(), 2, "one cache file per healthy job");
+    for p in &cache_files {
+        std::fs::write(p, garbage).unwrap();
+    }
+    let rerun = resilient::run_resilient(&grid, &cfg);
+    for (o, b) in rerun.iter().zip(&baseline) {
+        assert_eq!(
+            o.report(),
+            Some(b),
+            "a corrupt cache entry must re-run to the same report, not fail"
+        );
+    }
+    for p in &cache_files {
+        let bytes = std::fs::read(p).unwrap();
+        assert_ne!(bytes, garbage.to_vec(), "the re-run must overwrite the corrupt entry");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+
+    // ---- Phase D: the tick-budget watchdog turns a runaway job into a
+    // structured TimedOut instead of a crash or a hang.
+    let dir = temp_dir("watchdog");
+    base_env(&dir);
+    std::env::set_var("ATTACHE_JOB_TICK_BUDGET", "500");
+    let cfg = ExperimentConfig::from_env();
+    let grid = Grid::cross(
+        &[WorkloadRef::Rate("mcf".to_string())],
+        &[MetadataStrategyKind::Baseline],
+    );
+    let outcomes = resilient::run_resilient(&grid, &cfg);
+    let JobOutcome::TimedOut { budget, at_tick } = outcomes[0] else {
+        panic!("a 500-cycle budget must time the job out, got {:?}", outcomes[0]);
+    };
+    assert_eq!(budget, 500);
+    assert!(at_tick > 500, "the watchdog fires at the first tick past the budget");
+    let failure_text = std::fs::read_to_string(
+        resilient::failures_dir(&cfg).join(format!("{}.txt", grid.jobs()[0].export_stem(&cfg))),
+    )
+    .expect("timed-out jobs are quarantined with context");
+    assert!(failure_text.contains("timed out"), "context: {failure_text}");
+
+    cleanup_env();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -174,6 +174,18 @@ impl MetadataCache {
         }
     }
 
+    /// Fault-injection hook: drops the metadata line covering
+    /// `data_line_addr` from the cache, if resident, discarding any dirty
+    /// state (modelling a corrupted/invalidated cache entry, not an
+    /// eviction). Returns whether a line was dropped. The next lookup in
+    /// that 128-block region misses and re-installs — a performance
+    /// perturbation only; the backing metadata region stays correct.
+    pub fn fault_invalidate_covering(&mut self, data_line_addr: u64) -> bool {
+        self.cache
+            .invalidate(Self::metadata_line_of(data_line_addr))
+            .is_some()
+    }
+
     /// The lookup latency in CPU cycles.
     pub fn latency(&self) -> u64 {
         self.config.latency_cycles

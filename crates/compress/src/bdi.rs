@@ -130,6 +130,58 @@ impl Bdi {
         Bdi
     }
 
+    /// Bounds-checked decompression: returns `None` instead of panicking
+    /// when `image` is not a well-formed BDI image (wrong algorithm, an
+    /// unknown tag byte, or a payload shorter than the encoding's fixed
+    /// size). The fault-injection layer stores deliberately corrupted
+    /// images, so the decode path must be total over arbitrary bytes.
+    pub fn try_decompress(&self, image: &Compressed) -> Option<Block> {
+        if image.algorithm() != Algorithm::Bdi {
+            return None;
+        }
+        let payload = image.payload();
+        let enc = Encoding::from_tag(*payload.first()?)?;
+        if payload.len() < enc.compressed_size() {
+            return None;
+        }
+        let mut block = [0u8; BLOCK_SIZE];
+        match enc {
+            Encoding::Zeros => {}
+            Encoding::Repeated => {
+                for chunk in block.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&payload[1..9]);
+                }
+            }
+            _ => {
+                let (base_size, delta_size) = enc.geometry().expect("base-delta geometry");
+                let n = BLOCK_SIZE / base_size;
+                let mask_len = n.div_ceil(8);
+                let mask = &payload[1..1 + mask_len];
+                let mut buf = [0u8; 8];
+                buf[..base_size].copy_from_slice(&payload[1 + mask_len..1 + mask_len + base_size]);
+                let shift = 64 - base_size as u32 * 8;
+                let base = ((u64::from_le_bytes(buf) << shift) as i64) >> shift;
+                let deltas = &payload[1 + mask_len + base_size..];
+                for i in 0..n {
+                    let mut dbuf = [0u8; 8];
+                    dbuf[..delta_size]
+                        .copy_from_slice(&deltas[i * delta_size..(i + 1) * delta_size]);
+                    let dshift = 64 - delta_size as u32 * 8;
+                    let delta = ((u64::from_le_bytes(dbuf) << dshift) as i64) >> dshift;
+                    let uses_base = mask[i / 8] & (1 << (i % 8)) != 0;
+                    let value = if uses_base {
+                        base.wrapping_add(delta)
+                    } else {
+                        delta
+                    };
+                    block[i * base_size..(i + 1) * base_size]
+                        .copy_from_slice(&value.to_le_bytes()[..base_size]);
+                }
+            }
+        }
+        Some(block)
+    }
+
     /// Returns the best (smallest) encoding applicable to `block`, if any.
     pub fn best_encoding(block: &Block) -> Option<Encoding> {
         if block.iter().all(|&b| b == 0) {
@@ -252,44 +304,7 @@ impl Compressor for Bdi {
 
     fn decompress(&self, image: &Compressed) -> Block {
         assert_eq!(image.algorithm(), Algorithm::Bdi, "not a BDI image");
-        let payload = image.payload();
-        let enc = Encoding::from_tag(payload[0]).expect("valid BDI tag");
-        let mut block = [0u8; BLOCK_SIZE];
-        match enc {
-            Encoding::Zeros => {}
-            Encoding::Repeated => {
-                for chunk in block.chunks_exact_mut(8) {
-                    chunk.copy_from_slice(&payload[1..9]);
-                }
-            }
-            _ => {
-                let (base_size, delta_size) = enc.geometry().expect("base-delta geometry");
-                let n = BLOCK_SIZE / base_size;
-                let mask_len = n.div_ceil(8);
-                let mask = &payload[1..1 + mask_len];
-                let mut buf = [0u8; 8];
-                buf[..base_size].copy_from_slice(&payload[1 + mask_len..1 + mask_len + base_size]);
-                let shift = 64 - base_size as u32 * 8;
-                let base = ((u64::from_le_bytes(buf) << shift) as i64) >> shift;
-                let deltas = &payload[1 + mask_len + base_size..];
-                for i in 0..n {
-                    let mut dbuf = [0u8; 8];
-                    dbuf[..delta_size]
-                        .copy_from_slice(&deltas[i * delta_size..(i + 1) * delta_size]);
-                    let dshift = 64 - delta_size as u32 * 8;
-                    let delta = ((u64::from_le_bytes(dbuf) << dshift) as i64) >> dshift;
-                    let uses_base = mask[i / 8] & (1 << (i % 8)) != 0;
-                    let value = if uses_base {
-                        base.wrapping_add(delta)
-                    } else {
-                        delta
-                    };
-                    block[i * base_size..(i + 1) * base_size]
-                        .copy_from_slice(&value.to_le_bytes()[..base_size]);
-                }
-            }
-        }
-        block
+        self.try_decompress(image).expect("corrupt BDI image")
     }
 }
 

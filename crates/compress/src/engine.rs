@@ -100,6 +100,20 @@ impl CompressionEngine {
         }
     }
 
+    /// Bounds-checked counterpart of [`decompress`](Self::decompress):
+    /// returns `None` when the image's payload does not decode cleanly
+    /// under its claimed algorithm. The fault-injection layer flips bits
+    /// in stored images, so corrupted payloads must not panic the engine.
+    pub fn try_decompress(&self, outcome: &CompressionOutcome) -> Option<Block> {
+        match outcome {
+            CompressionOutcome::Compressed(c) => match c.algorithm() {
+                Algorithm::Bdi => self.bdi.try_decompress(c),
+                Algorithm::Fpc => self.fpc.try_decompress(c),
+            },
+            CompressionOutcome::Uncompressed(b) => Some(*b),
+        }
+    }
+
     /// The size in bytes `block` occupies after best-of compression.
     pub fn compressed_size(&self, block: &Block) -> usize {
         self.compress(block).compressed_size()

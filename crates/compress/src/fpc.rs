@@ -166,6 +166,16 @@ impl<'a> BitReader<'a> {
         self.pos += bits as usize;
         v
     }
+
+    /// Like [`pull`](BitReader::pull) but returns `None` instead of
+    /// indexing out of bounds when the stream is exhausted — the decode
+    /// path for possibly-corrupt images.
+    fn try_pull(&mut self, bits: u32) -> Option<u64> {
+        if self.pos + bits as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        Some(self.pull(bits))
+    }
 }
 
 /// The Frequent Pattern Compression compressor.
@@ -192,6 +202,70 @@ impl Fpc {
     /// Creates an FPC compressor.
     pub fn new() -> Self {
         Fpc
+    }
+
+    /// Bounds-checked decompression: returns `None` instead of panicking
+    /// when `image` is not a well-formed FPC image (wrong algorithm, or a
+    /// bit stream that runs out before all 16 words decode). The
+    /// fault-injection layer stores deliberately corrupted images, so the
+    /// decode path must be total over arbitrary bytes.
+    pub fn try_decompress(&self, image: &Compressed) -> Option<Block> {
+        if image.algorithm() != Algorithm::Fpc {
+            return None;
+        }
+        let mut r = BitReader::new(image.payload());
+        let mut words = [0u32; WORDS];
+        let mut i = 0;
+        while i < WORDS {
+            let p = Pattern::from_prefix(r.try_pull(3)?);
+            match p {
+                Pattern::ZeroRun => {
+                    let run = r.try_pull(3)? as usize + 1;
+                    i += run; // words are already zero
+                }
+                Pattern::Imm4 => {
+                    let v = r.try_pull(4)? as u32;
+                    words[i] = ((v << 28) as i32 >> 28) as u32;
+                    i += 1;
+                }
+                Pattern::Imm8 => {
+                    let v = r.try_pull(8)? as u32;
+                    words[i] = ((v << 24) as i32 >> 24) as u32;
+                    i += 1;
+                }
+                Pattern::Imm16 => {
+                    let v = r.try_pull(16)? as u32;
+                    words[i] = ((v << 16) as i32 >> 16) as u32;
+                    i += 1;
+                }
+                Pattern::PaddedHalf => {
+                    words[i] = (r.try_pull(16)? as u32) << 16;
+                    i += 1;
+                }
+                Pattern::TwoHalves => {
+                    let lo = r.try_pull(8)? as u32;
+                    let hi = r.try_pull(8)? as u32;
+                    let lo = ((lo << 24) as i32 >> 24) as u32 & 0xFFFF;
+                    let hi = ((hi << 24) as i32 >> 24) as u32 & 0xFFFF;
+                    words[i] = lo | (hi << 16);
+                    i += 1;
+                }
+                Pattern::RepeatedBytes => {
+                    let b = r.try_pull(8)? as u32;
+                    words[i] = b | (b << 8) | (b << 16) | (b << 24);
+                    i += 1;
+                }
+                Pattern::Uncompressed => {
+                    words[i] = r.try_pull(32)? as u32;
+                    i += 1;
+                }
+            }
+        }
+        let mut block = [0u8; BLOCK_SIZE];
+        for (chunk, w) in block.chunks_exact_mut(4).zip(words) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        Some(block)
     }
 
     /// The exact compressed size of `block` in bits, including prefixes.
@@ -269,59 +343,7 @@ impl Compressor for Fpc {
 
     fn decompress(&self, image: &Compressed) -> Block {
         assert_eq!(image.algorithm(), Algorithm::Fpc, "not an FPC image");
-        let mut r = BitReader::new(image.payload());
-        let mut words = [0u32; WORDS];
-        let mut i = 0;
-        while i < WORDS {
-            let p = Pattern::from_prefix(r.pull(3));
-            match p {
-                Pattern::ZeroRun => {
-                    let run = r.pull(3) as usize + 1;
-                    i += run; // words are already zero
-                }
-                Pattern::Imm4 => {
-                    let v = r.pull(4) as u32;
-                    words[i] = ((v << 28) as i32 >> 28) as u32;
-                    i += 1;
-                }
-                Pattern::Imm8 => {
-                    let v = r.pull(8) as u32;
-                    words[i] = ((v << 24) as i32 >> 24) as u32;
-                    i += 1;
-                }
-                Pattern::Imm16 => {
-                    let v = r.pull(16) as u32;
-                    words[i] = ((v << 16) as i32 >> 16) as u32;
-                    i += 1;
-                }
-                Pattern::PaddedHalf => {
-                    words[i] = (r.pull(16) as u32) << 16;
-                    i += 1;
-                }
-                Pattern::TwoHalves => {
-                    let lo = r.pull(8) as u32;
-                    let hi = r.pull(8) as u32;
-                    let lo = ((lo << 24) as i32 >> 24) as u32 & 0xFFFF;
-                    let hi = ((hi << 24) as i32 >> 24) as u32 & 0xFFFF;
-                    words[i] = lo | (hi << 16);
-                    i += 1;
-                }
-                Pattern::RepeatedBytes => {
-                    let b = r.pull(8) as u32;
-                    words[i] = b | (b << 8) | (b << 16) | (b << 24);
-                    i += 1;
-                }
-                Pattern::Uncompressed => {
-                    words[i] = r.pull(32) as u32;
-                    i += 1;
-                }
-            }
-        }
-        let mut block = [0u8; BLOCK_SIZE];
-        for (chunk, w) in block.chunks_exact_mut(4).zip(words) {
-            chunk.copy_from_slice(&w.to_le_bytes());
-        }
-        block
+        self.try_decompress(image).expect("corrupt FPC image")
     }
 }
 

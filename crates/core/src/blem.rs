@@ -122,6 +122,11 @@ pub struct Blem {
     /// bit was a 0). Observability-only: kept outside [`BlemStats`]
     /// because that struct is embedded in `RunReport`.
     xid_flips: u64,
+    /// When set, a compressed payload that no longer parses decodes to a
+    /// deterministic garbage block instead of panicking. Only the fault
+    /// injector turns this on — a corrupt image without injected faults
+    /// is a simulator bug and must keep crashing loudly.
+    fault_tolerant: bool,
 }
 
 impl Blem {
@@ -149,7 +154,85 @@ impl Blem {
             ra: ReplacementArea::new(),
             stats: BlemStats::default(),
             xid_flips: 0,
+            fault_tolerant: false,
         }
+    }
+
+    /// Fault-injection hook: decode corrupted compressed payloads to a
+    /// deterministic garbage block instead of panicking (the mirror
+    /// oracle then flags the mismatch and attributes it to a fault class).
+    pub fn set_fault_tolerant_decode(&mut self, on: bool) {
+        self.fault_tolerant = on;
+    }
+
+    /// Fault-injection hook: replaces the address-keyed scrambler key
+    /// mid-run, as if the boot-time key register were corrupted. Every
+    /// line stored under the old key now descrambles to garbage.
+    pub fn swap_scrambler_key(&mut self, seed: u64) {
+        self.scrambler = Scrambler::new(seed);
+    }
+
+    /// Fault-injection hook: flips `line_addr`'s displaced bit in the
+    /// Replacement Area, if one exists; returns whether a bit was
+    /// flipped. No RA stats are counted (silent corruption, not an
+    /// access).
+    pub fn fault_flip_ra_bit(&mut self, line_addr: u64) -> bool {
+        self.ra.fault_flip_bit(line_addr)
+    }
+
+    /// Decodes `image` exactly as [`read_line`](Blem::read_line) would,
+    /// with **zero** side effects: no stats, no RA access counters, no
+    /// collision bookkeeping. The fault injector uses this to classify a
+    /// corruption as absorbed (decodes identically) or pending (decode
+    /// changed) before the line is ever demand-read.
+    pub fn peek_line(&self, line_addr: u64, image: &StoredImage) -> Block {
+        match image {
+            StoredImage::Compressed(bytes) => {
+                let m = self.inspect(bytes);
+                if !m.is_compressed() {
+                    return Self::garbage_block(line_addr);
+                }
+                let algorithm = self.cid.algorithm_from_info(m.info);
+                let mut payload = [0u8; 30];
+                payload.copy_from_slice(&bytes[2..]);
+                self.scrambler.scramble_slice(line_addr, &mut payload);
+                self.engine
+                    .try_decompress(&CompressionOutcome::Compressed(Compressed::from_parts(
+                        algorithm, &payload,
+                    )))
+                    .unwrap_or_else(|| Self::garbage_block(line_addr))
+            }
+            StoredImage::Uncompressed(bytes) => {
+                let header = u16::from_be_bytes([bytes[0], bytes[1]]);
+                let m = self.cid.parse_header(header);
+                let mut stored = *bytes;
+                if m.cid_matches {
+                    let displaced = self.ra.peek_bit(line_addr).unwrap_or(false);
+                    let restored = if displaced { header | 1 } else { header & !1 };
+                    stored[..2].copy_from_slice(&restored.to_be_bytes());
+                }
+                self.scrambler.descramble(line_addr, &stored)
+            }
+        }
+    }
+
+    /// A deterministic, line-addressed garbage block: what a corrupted
+    /// compressed image decodes to when its payload no longer parses.
+    /// Any fixed function works (the mirror oracle flags the mismatch
+    /// regardless), but it must depend only on the line address so both
+    /// engines decode identical garbage at identical ticks.
+    fn garbage_block(line_addr: u64) -> Block {
+        let mut b = [0u8; BLOCK_SIZE];
+        let mut z = line_addr ^ 0x9E37_79B9_7F4A_7C15;
+        for chunk in b.chunks_exact_mut(8) {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        b
     }
 
     /// The boot-time CID register.
@@ -271,24 +354,32 @@ impl Blem {
         match image {
             StoredImage::Compressed(bytes) => {
                 let m = self.inspect(bytes);
-                debug_assert!(m.is_compressed(), "compressed image must carry the CID");
+                debug_assert!(
+                    self.fault_tolerant || m.is_compressed(),
+                    "compressed image must carry the CID"
+                );
+                self.stats.compressed_reads += 1;
+                let info = ReadInfo {
+                    compressed: true,
+                    collision: false,
+                };
+                if self.fault_tolerant && !m.is_compressed() {
+                    return (Self::garbage_block(line_addr), info);
+                }
                 let algorithm = self.cid.algorithm_from_info(m.info);
                 let mut payload = [0u8; 30];
                 payload.copy_from_slice(&bytes[2..]);
                 self.scrambler.scramble_slice(line_addr, &mut payload);
-                let block = self
-                    .engine()
-                    .decompress(&CompressionOutcome::Compressed(Compressed::from_parts(
-                        algorithm, &payload,
-                    )));
-                self.stats.compressed_reads += 1;
-                (
-                    block,
-                    ReadInfo {
-                        compressed: true,
-                        collision: false,
-                    },
-                )
+                let outcome =
+                    CompressionOutcome::Compressed(Compressed::from_parts(algorithm, &payload));
+                let block = if self.fault_tolerant {
+                    self.engine
+                        .try_decompress(&outcome)
+                        .unwrap_or_else(|| Self::garbage_block(line_addr))
+                } else {
+                    self.engine().decompress(&outcome)
+                };
+                (block, info)
             }
             StoredImage::Uncompressed(bytes) => {
                 let header = u16::from_be_bytes([bytes[0], bytes[1]]);

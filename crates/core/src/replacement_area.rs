@@ -57,6 +57,27 @@ impl ReplacementArea {
         self.bits.get(&line_addr).copied().unwrap_or(false)
     }
 
+    /// Reads the displaced bit for `line_addr` without touching the access
+    /// counters (`None` if no bit was ever displaced there). Used by the
+    /// fault-injection layer's pure decode previews, which must not
+    /// perturb the RA traffic the simulator turns into DRAM requests.
+    pub fn peek_bit(&self, line_addr: u64) -> Option<bool> {
+        self.bits.get(&line_addr).copied()
+    }
+
+    /// Fault-injection hook: flips the stored displaced bit for
+    /// `line_addr`, if one exists. Returns whether a bit was flipped. No
+    /// stats are counted — this models silent corruption of the RA
+    /// region, not an access.
+    pub fn fault_flip_bit(&mut self, line_addr: u64) -> bool {
+        if let Some(b) = self.bits.get_mut(&line_addr) {
+            *b = !*b;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Access counters.
     pub fn stats(&self) -> ReplacementAreaStats {
         self.stats

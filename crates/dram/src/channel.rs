@@ -190,6 +190,10 @@ pub struct Channel {
     auditor: Option<Box<ConformanceChecker>>,
     /// Optional shared event-trace ring, dumped when the auditor fires.
     trace: Option<attache_metrics::SharedTraceRing>,
+    /// Fault-injection: temporary cap on the read queue's effective
+    /// capacity (`None` = full capacity). Timing-only: models a derated
+    /// controller front-end that back-pressures reads.
+    read_derate: Option<usize>,
 }
 
 impl Channel {
@@ -213,7 +217,16 @@ impl Channel {
             power: PowerModel::new(power),
             auditor: conformance_enabled().then(|| Box::new(ConformanceChecker::new(&cfg))),
             trace: None,
+            read_derate: None,
         }
+    }
+
+    /// Fault-injection hook: caps (or restores) the read queue's
+    /// effective capacity. Affects only future enqueue decisions —
+    /// requests already queued are unaffected, so a cap below the current
+    /// occupancy simply blocks new reads until the queue drains.
+    pub fn set_read_derate(&mut self, cap: Option<usize>) {
+        self.read_derate = cap;
     }
 
     /// Attaches a protocol auditor validating against `timing` — normally
@@ -275,7 +288,11 @@ impl Channel {
 
     /// Whether a read can be accepted this cycle.
     pub fn can_accept_read(&self) -> bool {
-        self.read_q.len() < self.cfg.read_queue_capacity
+        let cap = match self.read_derate {
+            Some(derate) => derate.min(self.cfg.read_queue_capacity),
+            None => self.cfg.read_queue_capacity,
+        };
+        self.read_q.len() < cap
     }
 
     /// Whether a write can be accepted this cycle.

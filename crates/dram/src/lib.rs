@@ -60,6 +60,11 @@ pub struct MemorySystem {
     /// that only depend on queue/bank state, e.g. whether a retried
     /// request could enqueue.
     mutation_gen: u64,
+    /// Active fault-injected read derate as `(cap, until)`: every
+    /// channel's read queue is capped at `cap` slots until the bus clock
+    /// reaches `until`. Expiry is an event both engines must observe at
+    /// the same cycle (see [`next_event`](Self::next_event)).
+    derate: Option<(usize, u64)>,
 }
 
 impl MemorySystem {
@@ -73,6 +78,34 @@ impl MemorySystem {
                 .collect(),
             sched_bounds: vec![0; cfg.channels],
             mutation_gen: 0,
+            derate: None,
+        }
+    }
+
+    /// Fault-injection hook: caps every channel's read queue at `cap`
+    /// slots until the bus clock reaches `until` (a timing-only
+    /// perturbation — data is never corrupted). Enqueue outcomes change,
+    /// so the mutation generation is bumped both here and at expiry.
+    pub fn fault_derate_reads(&mut self, cap: usize, until: u64) {
+        for ch in &mut self.channels {
+            ch.set_read_derate(Some(cap));
+        }
+        self.derate = Some((cap, until));
+        self.mutation_gen += 1;
+    }
+
+    /// Clears an expired read derate. Called at the top of both tick
+    /// paths so the cap lifts at exactly cycle `until` under either
+    /// engine.
+    fn expire_derate(&mut self) {
+        if let Some((_, until)) = self.derate {
+            if self.now() >= until {
+                for ch in &mut self.channels {
+                    ch.set_read_derate(None);
+                }
+                self.derate = None;
+                self.mutation_gen += 1;
+            }
         }
     }
 
@@ -180,6 +213,7 @@ impl MemorySystem {
 
     /// Advances every channel one bus cycle.
     pub fn tick(&mut self) {
+        self.expire_derate();
         for ch in &mut self.channels {
             ch.tick();
         }
@@ -200,6 +234,7 @@ impl MemorySystem {
     ///   bound is discarded (recomputed lazily), else the failed scan's
     ///   cycle establishes a fresh bound.
     pub fn tick_event(&mut self) {
+        self.expire_derate();
         for (ch, bound) in self.channels.iter_mut().zip(&mut self.sched_bounds) {
             let soon = ch.now() + 1;
             if *bound > soon {
@@ -250,11 +285,22 @@ impl MemorySystem {
     /// The earliest future cycle at which any channel could do real work
     /// (see [`Channel::next_event`]); `u64::MAX` when nothing is pending.
     pub fn next_event(&self) -> u64 {
-        self.channels
+        let base = self
+            .channels
             .iter()
             .map(Channel::next_event)
             .min()
-            .unwrap_or(u64::MAX)
+            .unwrap_or(u64::MAX);
+        self.clamp_to_derate_expiry(base)
+    }
+
+    /// A derate expiry is a state change both engines must hit with a
+    /// full tick, so no event bound may skip past it.
+    fn clamp_to_derate_expiry(&self, bound: u64) -> u64 {
+        match self.derate {
+            Some((_, until)) => bound.min(until.max(self.now() + 1)),
+            None => bound,
+        }
     }
 
     /// Like [`next_event`](Self::next_event) but with the scheduling part
@@ -275,7 +321,7 @@ impl MemorySystem {
             }
             min = min.min(*bound).min(ch.next_retire());
         }
-        min
+        self.clamp_to_derate_expiry(min)
     }
 
     /// A counter bumped on every queue/bank state mutation (scheduler

@@ -178,12 +178,24 @@ pub struct SimConfig {
     /// written-back line reports a mismatch — proving the
     /// failure-context dump path end to end.
     pub mirror_poison: bool,
+    /// Fault-injection schedule (`ATTACHE_FAULTS=<spec>`, unset/`0` =
+    /// disabled; see [`crate::faults`]). When `None`, no injector is
+    /// constructed and results are bit-identical to a faults-free build.
+    pub faults: Option<crate::faults::FaultPlan>,
+    /// Cooperative tick budget in bus cycles
+    /// (`ATTACHE_JOB_TICK_BUDGET=<n>`, unset/`0` = unlimited): a run
+    /// that exceeds it panics with a
+    /// [`TickBudgetExceeded`](crate::faults::TickBudgetExceeded) payload,
+    /// which the resilient grid executor converts into a structured
+    /// timed-out outcome.
+    pub tick_budget: Option<u64>,
 }
 
 impl SimConfig {
     /// The paper's Table II baseline configuration with laptop-scale run
     /// lengths.
     pub fn table2_baseline() -> Self {
+        crate::env::warn_unknown_knobs_once();
         Self {
             core: CoreConfig::table2(),
             llc: LlcConfig::table2(),
@@ -201,6 +213,8 @@ impl SimConfig {
             epoch: crate::env::env_u64_opt("ATTACHE_EPOCH"),
             trace_ring: crate::env::env_u64_opt("ATTACHE_TRACE_RING").map(|n| n as usize),
             mirror_poison: false,
+            faults: crate::faults::FaultPlan::from_env(),
+            tick_budget: crate::env::env_u64_opt("ATTACHE_JOB_TICK_BUDGET"),
         }
     }
 
@@ -250,6 +264,20 @@ impl SimConfig {
     /// hook; see [`SimConfig::mirror_poison`]).
     pub fn with_mirror_poison(mut self, poison: bool) -> Self {
         self.mirror_poison = poison;
+        self
+    }
+
+    /// Same configuration with an explicit fault-injection plan
+    /// (overriding whatever `ATTACHE_FAULTS` selected; `None` disables).
+    pub fn with_faults(mut self, plan: Option<crate::faults::FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Same configuration with an explicit tick budget (overriding
+    /// whatever `ATTACHE_JOB_TICK_BUDGET` selected; `None` = unlimited).
+    pub fn with_tick_budget(mut self, budget: Option<u64>) -> Self {
+        self.tick_budget = budget;
         self
     }
 }

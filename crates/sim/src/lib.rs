@@ -25,6 +25,7 @@ pub mod backend;
 pub mod config;
 pub mod core_model;
 pub mod env;
+pub mod faults;
 pub mod mirror;
 pub mod observe;
 pub mod report_io;
@@ -33,7 +34,8 @@ pub mod strategy;
 pub mod system;
 
 pub use config::{CoreConfig, EngineKind, MetadataStrategyKind, SimConfig};
-pub use env::{env_u64, env_u64_opt};
+pub use env::{env_u64, env_u64_opt, unknown_knobs, KNOWN_KNOBS};
+pub use faults::{FaultClass, FaultCounters, FaultPlan, FaultStats, TickBudgetExceeded};
 pub use mirror::{MirrorGlobalStats, MirrorMismatch, MirrorOracle, MirrorStats};
 pub use observe::Observation;
 pub use stats::{RunReport, BUS_CYCLE_NS};

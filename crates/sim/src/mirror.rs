@@ -138,6 +138,15 @@ impl MirrorOracle {
         self.map.get(&line)
     }
 
+    /// Overwrites the record for `line` without touching activity
+    /// counters or the poison hook. Used by the fault-injection recovery
+    /// path: after a mismatch is attributed to an injected fault, the
+    /// record is re-aligned to what the (corrupted) memory now decodes
+    /// to, so the run continues and only *new* divergences fire.
+    pub fn heal(&mut self, line: u64, bytes: &MirrorLine) {
+        self.map.insert(line, *bytes);
+    }
+
     /// Checks bytes returned by a read of `line` against the record.
     ///
     /// Lines with no record (never written back — still pristine) are

@@ -263,5 +263,18 @@ impl Observer {
                 r.set_gauge(&format!("{p}.accuracy"), s.accuracy());
             }
         }
+
+        // faults.{class}.* — only when fault injection is armed, so
+        // faults-off runs export exactly the same key set as before.
+        if let Some(fs) = strategy.fault_stats() {
+            for (class, c) in fs.iter() {
+                let p = format!("faults.{class}");
+                r.set_counter(&format!("{p}.injected"), c.injected);
+                r.set_counter(&format!("{p}.detected"), c.detected);
+                r.set_counter(&format!("{p}.absorbed"), c.absorbed);
+                r.set_counter(&format!("{p}.undetected"), c.undetected);
+                r.set_counter(&format!("{p}.skipped"), c.skipped);
+            }
+        }
     }
 }

@@ -46,6 +46,7 @@ use std::collections::HashMap;
 
 use crate::backend::MemoryBackend;
 use crate::config::MetadataStrategyKind;
+use crate::faults::{FaultInjector, FaultOutcome, FaultPlan, FaultStats, FaultTargets};
 use crate::mirror::{MirrorOracle, MirrorStats};
 
 /// A request the strategy wants issued (the system assigns ids/cycles).
@@ -116,6 +117,9 @@ pub struct Strategy {
     mirror: Option<MirrorOracle>,
     // Optional shared event-trace ring, dumped when the oracle fires.
     trace: Option<attache_metrics::SharedTraceRing>,
+    // Optional fault injector (see crate::faults); None = chaos off and
+    // zero per-access overhead.
+    faults: Option<Box<FaultInjector>>,
 }
 
 impl Strategy {
@@ -156,6 +160,7 @@ impl Strategy {
             stats: StrategyStats::default(),
             mirror: None,
             trace: None,
+            faults: None,
         }
     }
 
@@ -188,6 +193,50 @@ impl Strategy {
         self.trace = Some(ring);
     }
 
+    /// Arms the fault injector (see [`crate::faults`]). BLEM (when
+    /// present) switches to fault-tolerant decode so corrupted images
+    /// produce deterministic garbage blocks — caught by the mirror
+    /// oracle and attributed to their fault class — instead of panics
+    /// deep inside the decompressors.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        if let Some(b) = self.blem.as_mut() {
+            b.set_fault_tolerant_decode(true);
+        }
+        self.faults = Some(Box::new(FaultInjector::new(plan)));
+    }
+
+    /// Runs the fault-injection schedule for bus cycle `now`. Returns
+    /// `None` when faults are off or no injection is due; otherwise the
+    /// actions/events the system must apply.
+    pub fn apply_faults(&mut self, now: u64) -> Option<FaultOutcome> {
+        let Self {
+            images,
+            blem,
+            meta_cache,
+            faults,
+            ..
+        } = self;
+        let inj = faults.as_mut()?;
+        let mut targets = FaultTargets {
+            images,
+            blem: blem.as_mut(),
+            meta_cache: meta_cache.as_mut(),
+        };
+        inj.tick(now, &mut targets)
+    }
+
+    /// The next scheduled injection tick (`u64::MAX` when faults are off
+    /// or the event budget is spent) — the event engine clamps its skip
+    /// horizon to this so both engines inject at identical cycles.
+    pub fn next_fault_tick(&self) -> u64 {
+        self.faults.as_ref().map_or(u64::MAX, |f| f.next_tick())
+    }
+
+    /// Per-class fault counters, when injection is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
     /// The attached trace ring's dump, prefixed with a newline, or the
     /// empty string when no ring is attached. Evaluated only inside
     /// failure paths.
@@ -209,13 +258,43 @@ impl Strategy {
     /// across compression, the CID/XID header, scrambling, and the
     /// Replacement Area.
     fn mirror_check_decoded(&mut self, line: u64, decoded: &[u8; 64]) {
-        if let Some(mirror) = self.mirror.as_mut() {
-            if let Err(m) = mirror.check_read(line, decoded) {
-                panic!(
-                    "[attache-sim] {} mirror oracle: {m}{}",
-                    self.kind,
-                    self.trace_dump()
-                );
+        let Self {
+            kind,
+            mirror,
+            trace,
+            faults,
+            ..
+        } = self;
+        let Some(mirror) = mirror.as_mut() else {
+            // No oracle to check against: if this line carries an
+            // injected corruption, the read just consumed it silently.
+            if let Some(inj) = faults.as_mut() {
+                inj.note_unverified_read(line);
+            }
+            return;
+        };
+        match mirror.check_read(line, decoded) {
+            Ok(()) => {
+                if let Some(inj) = faults.as_mut() {
+                    inj.note_clean_read(line);
+                }
+            }
+            Err(m) => {
+                if let Some(inj) = faults.as_mut() {
+                    if inj.note_mismatch(line) {
+                        // Attributed to an injected fault: count the
+                        // detection and re-align the shadow record to the
+                        // corrupted decode, so the run continues and only
+                        // *new* divergences fire.
+                        mirror.heal(line, decoded);
+                        return;
+                    }
+                }
+                let dump = trace
+                    .as_ref()
+                    .map(|r| format!("\n{}", attache_metrics::dump_shared(r)))
+                    .unwrap_or_default();
+                panic!("[attache-sim] {kind} mirror oracle: {m}{dump}");
             }
         }
     }
@@ -465,7 +544,8 @@ impl Strategy {
             // time versioning) before the line is next read.
             mirror.record_write(line, &backend.content(line));
         }
-        match self.kind {
+        let mut wrote_collision = false;
+        let plan = match self.kind {
             MetadataStrategyKind::Baseline => WritePlan {
                 data: ReqSpec {
                     line,
@@ -538,6 +618,7 @@ impl Strategy {
                 let w = blem.write_line(line, &backend.content(line));
                 let compressed = w.compressed;
                 let collision = w.collision;
+                wrote_collision = collision;
                 self.images.insert(line, w.image);
                 if compressed {
                     self.stats.compressed_writes += 1;
@@ -565,7 +646,15 @@ impl Strategy {
                     side,
                 }
             }
+        };
+        if let Some(inj) = self.faults.as_mut() {
+            // A write both refreshes the targetable-line lists and
+            // absorbs any corruption still pending on this line (the
+            // corrupted image was just replaced, so no read can ever
+            // surface it).
+            inj.note_write(line, wrote_collision);
         }
+        plan
     }
 
     /// Read-side latency of the metadata structure consulted before a read

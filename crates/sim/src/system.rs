@@ -210,6 +210,9 @@ impl System {
         if cfg.mirror_poison {
             strategy.poison_mirror();
         }
+        if let Some(plan) = cfg.faults.clone() {
+            strategy.enable_faults(plan);
+        }
         let observer = Observer::from_config(cfg);
         let mut mem = MemorySystem::new(cfg.dram, cfg.power);
         if let Some(ring) = observer.as_ref().and_then(|o| o.ring.clone()) {
@@ -264,6 +267,7 @@ impl System {
         let mut guard: u64 = 0;
         while self.cores.iter().map(|c| c.retired).sum::<u64>() < total_target {
             self.bus_tick();
+            self.check_tick_budget();
             guard += 1;
             assert!(
                 guard < 20_000_000_000,
@@ -281,6 +285,7 @@ impl System {
         let mut guard: u64 = 0;
         while self.cores.iter().map(|c| c.retired).sum::<u64>() < total_target {
             self.bus_tick_event();
+            self.check_tick_budget();
             guard += 1;
             assert!(
                 guard < 20_000_000_000,
@@ -360,6 +365,7 @@ impl System {
                 self.core_wake[i] = wake;
             }
         }
+        self.inject_faults_tick();
         self.observe_tick();
     }
 
@@ -413,6 +419,13 @@ impl System {
             if ns != u64::MAX {
                 horizon = horizon.min(ns.max(soon));
             }
+        }
+        // A fault injection mutates model state, so the tick that fires
+        // one must run for real — clamped exactly like epoch samples so
+        // both engines inject at identical cycles.
+        let nf = self.strategy.next_fault_tick();
+        if nf != u64::MAX {
+            horizon = horizon.min(nf.max(soon));
         }
         horizon
     }
@@ -506,6 +519,7 @@ impl System {
             }
             self.cores = cores;
         }
+        self.inject_faults_tick();
         self.observe_tick();
     }
 
@@ -535,6 +549,47 @@ impl System {
                         c.latency()
                     ),
                 );
+            }
+        }
+    }
+
+    /// End-of-tick fault hook: runs the injection schedule when armed.
+    /// Strategy-level perturbations (stored images, BLEM, the metadata
+    /// cache) happen inside [`Strategy::apply_faults`]; DRAM-level
+    /// actions and trace events are applied here. One `Option` check
+    /// when faults are off.
+    fn inject_faults_tick(&mut self) {
+        let now = self.mem.now();
+        let Some(outcome) = self.strategy.apply_faults(now) else {
+            return;
+        };
+        for action in outcome.actions {
+            match action {
+                crate::faults::FaultAction::DerateReads { cap, until } => {
+                    self.mem.fault_derate_reads(cap, until);
+                }
+            }
+        }
+        if let Some(obs) = self.observer.as_ref() {
+            if obs.wants_events() {
+                for e in outcome.events {
+                    obs.push_event(now, e);
+                }
+            }
+        }
+    }
+
+    /// Cooperative watchdog: panics with a typed
+    /// [`TickBudgetExceeded`](crate::faults::TickBudgetExceeded) payload
+    /// once the bus clock passes the configured budget
+    /// (`ATTACHE_JOB_TICK_BUDGET`). The resilient grid executor
+    /// downcasts the payload into a structured timed-out outcome instead
+    /// of treating the job as crashed.
+    fn check_tick_budget(&self) {
+        if let Some(budget) = self.cfg.tick_budget {
+            let now = self.mem.now();
+            if now > budget {
+                std::panic::panic_any(crate::faults::TickBudgetExceeded { budget, now });
             }
         }
     }

@@ -9,7 +9,7 @@
 //! functions of a binary concurrently and `set_var` is process-global;
 //! a second env-mutating test here would race this one.
 
-use attache_sim::{env_u64, env_u64_opt, SimConfig};
+use attache_sim::{env_u64, env_u64_opt, unknown_knobs, FaultPlan, SimConfig, KNOWN_KNOBS};
 
 #[test]
 fn env_knob_parsing_is_total() {
@@ -47,4 +47,55 @@ fn env_knob_parsing_is_total() {
     std::env::set_var("ATTACHE_ENV_KNOB_TEST", "7");
     assert_eq!(env_u64("ATTACHE_ENV_KNOB_TEST", 42), 7);
     std::env::remove_var("ATTACHE_ENV_KNOB_TEST");
+
+    // ATTACHE_FAULTS follows the same contract: unset / "" / "0" all
+    // mean no injection, a bad spec warns and disables (never panics),
+    // and valid specs arm the plan through table2_baseline.
+    std::env::remove_var("ATTACHE_FAULTS");
+    assert_eq!(FaultPlan::from_env(), None);
+    std::env::set_var("ATTACHE_FAULTS", "");
+    assert_eq!(FaultPlan::from_env(), None);
+    std::env::set_var("ATTACHE_FAULTS", "0");
+    assert_eq!(FaultPlan::from_env(), None);
+    std::env::set_var("ATTACHE_FAULTS", "period=bogus");
+    assert_eq!(
+        FaultPlan::from_env(),
+        None,
+        "a typo'd ATTACHE_FAULTS must fall back to disabled"
+    );
+    std::env::set_var("ATTACHE_FAULTS", "1234");
+    let plan = SimConfig::table2_baseline().faults.expect("bare seed arms the plan");
+    assert_eq!(plan.seed, 1234);
+    assert_eq!(plan.period, FaultPlan::DEFAULT_PERIOD);
+    std::env::set_var("ATTACHE_FAULTS", "seed=9,period=100,classes=ra_corrupt,max=3");
+    let plan = SimConfig::table2_baseline().faults.expect("full spec arms the plan");
+    assert_eq!((plan.seed, plan.period, plan.max), (9, 100, Some(3)));
+    assert_eq!(plan.classes, vec![attache_sim::FaultClass::RaCorrupt]);
+    std::env::remove_var("ATTACHE_FAULTS");
+
+    // The tick-budget watchdog knob rides the same optional-u64 path.
+    std::env::set_var("ATTACHE_JOB_TICK_BUDGET", "90000");
+    assert_eq!(SimConfig::table2_baseline().tick_budget, Some(90_000));
+    std::env::remove_var("ATTACHE_JOB_TICK_BUDGET");
+    assert_eq!(SimConfig::table2_baseline().tick_budget, None);
+}
+
+#[test]
+fn unknown_knob_classifier_flags_typos_only() {
+    // Pure classifier — no environment mutation, so it can coexist with
+    // the env-mutating test above.
+    let names = [
+        "ATTACHE_EPOC",    // the motivating typo
+        "ATTACHE_EPOCH",   // known
+        "ATTACHE_FAULTS",  // known
+        "PATH",            // not our namespace
+        "ATTACHEMENT",     // no underscore — not our namespace
+        "ATTACHE_NEW_KNOB_NOBODY_READS",
+    ];
+    assert_eq!(
+        unknown_knobs(names),
+        vec!["ATTACHE_EPOC".to_string(), "ATTACHE_NEW_KNOB_NOBODY_READS".to_string()]
+    );
+    // Every registered knob classifies as known.
+    assert!(unknown_knobs(KNOWN_KNOBS.iter().copied()).is_empty());
 }

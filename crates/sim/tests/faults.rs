@@ -1,0 +1,201 @@
+//! End-to-end fault-injection suite: the chaos harness for the
+//! metadata-recovery paths.
+//!
+//! The injector (`crates/sim/src/faults.rs`) corrupts stored images,
+//! BLEM headers, Replacement-Area bits, Metadata-Cache residency, the
+//! scrambler key, and DRAM read bandwidth on a seeded schedule; the
+//! mirror-memory oracle is the ground truth that decides whether each
+//! corruption was *detected* (a decoded read came back wrong),
+//! *absorbed* (overwritten or decode-invisible before any read), or
+//! *undetected* (a wrong read nobody caught). This suite pins the three
+//! contracts the layer is built on:
+//!
+//! * determinism — a fixed `FaultPlan` produces bit-identical reports
+//!   and per-class fault accounting under the cycle and event engines;
+//! * coverage — with the oracle attached, every surfaced corruption is
+//!   detected (zero `undetected` across every class);
+//! * purity — with faults off, no injector exists: no `faults.*`
+//!   metric keys, and reports identical to a config that never
+//!   mentioned faults.
+//!
+//! The `ra_corrupt` scenario is pinned in
+//! `tests/corpus/fault-ra-corrupt.case` so the exact schedule that
+//! exercises the Replacement-Area recovery path is reproducible.
+
+use attache_sim::{
+    EngineKind, FaultClass, FaultPlan, MetadataStrategyKind, SimConfig, System,
+};
+use attache_testkit::CorpusCase;
+use attache_workloads::{AccessPattern, Category, DataProfile, Profile, Suite};
+
+const ENGINES: [EngineKind; 2] = [EngineKind::Cycle, EngineKind::Event];
+
+/// Incompressible, write-heavy, reuse-heavy traffic over a shrunken LLC:
+/// dirty lines spill to DRAM (targets for the injector) and get re-read
+/// (chances for the oracle to catch corruption).
+fn chaos_profile() -> Profile {
+    Profile {
+        name: "fault-chaos",
+        suite: Suite::Synthetic,
+        category: Category::Incompressible,
+        data: DataProfile::incompressible(),
+        pattern: AccessPattern::Random,
+        footprint_lines: 8192,
+        instructions_per_access: 5.0,
+        write_fraction: 0.45,
+        mlp_limit: None,
+    }
+}
+
+/// A quick Attaché configuration with the oracle attached and the CID
+/// narrowed so collisions — the targets of `cid_erase`/`ra_corrupt` —
+/// are forced to appear inside a short run.
+fn chaos_config(engine: EngineKind) -> SimConfig {
+    let mut cfg = SimConfig::table2_baseline()
+        .with_strategy(MetadataStrategyKind::Attache)
+        .with_instructions(12_000, 0)
+        .with_engine(engine)
+        .with_mirror(true)
+        .with_trace_ring(Some(64));
+    cfg.llc.size_bytes = 128 << 10;
+    cfg.cid_bits = 6;
+    cfg
+}
+
+/// Reads the per-class fault counters back out of the exported metrics.
+fn fault_counters(reg: &attache_metrics::Registry, class: FaultClass) -> [u64; 4] {
+    [
+        reg.counter(&format!("faults.{class}.injected")),
+        reg.counter(&format!("faults.{class}.detected")),
+        reg.counter(&format!("faults.{class}.absorbed")),
+        reg.counter(&format!("faults.{class}.undetected")),
+    ]
+}
+
+#[test]
+fn fault_schedule_is_engine_invariant() {
+    // The acceptance bar for the layer: a fixed ATTACHE_FAULTS-style
+    // plan yields bit-identical reports AND identical per-class
+    // injection/detection accounting under both engines. The event
+    // engine may only skip time the injector provably does not need
+    // (its next_fault_tick horizon clamp) — any divergence here means
+    // it skipped over an injection.
+    let plan = FaultPlan::new(0xC0FFEE);
+    let mut results = Vec::new();
+    for engine in ENGINES {
+        let cfg = chaos_config(engine).with_faults(Some(plan.clone()));
+        let (report, obs) = System::run_rate_mode_observed(&cfg, chaos_profile(), 11);
+        let reg = obs.expect("trace ring arms the observer").registry;
+        let counters: Vec<_> = FaultClass::ALL
+            .into_iter()
+            .map(|c| (c, fault_counters(&reg, c)))
+            .collect();
+        results.push((report, counters));
+    }
+    assert_eq!(
+        results[0].0, results[1].0,
+        "cycle and event engines diverged under fault injection"
+    );
+    assert_eq!(
+        results[0].1, results[1].1,
+        "per-class fault accounting diverged across engines"
+    );
+    let total_injected: u64 = results[0].1.iter().map(|(_, c)| c[0]).sum();
+    assert!(total_injected > 0, "the chaos run must actually inject faults");
+}
+
+#[test]
+fn oracle_catches_every_surfaced_fault() {
+    // With the mirror oracle on, a corrupted line that reaches a decoded
+    // read is detected and healed — across ALL fault classes at once.
+    // Zero `undetected` is the whole point of the harness: it proves the
+    // oracle's coverage of the recovery paths, not just that injection
+    // happened.
+    let plan = FaultPlan::new(0xDECAF);
+    let cfg = chaos_config(EngineKind::Event).with_faults(Some(plan));
+    let (report, obs) = System::run_rate_mode_observed(&cfg, chaos_profile(), 29);
+    assert!(report.bus_cycles > 0);
+    let reg = obs.expect("trace ring arms the observer").registry;
+    let mut injected = 0;
+    let mut resolved = 0;
+    for class in FaultClass::ALL {
+        let [inj, det, abs, undet] = fault_counters(&reg, class);
+        assert_eq!(undet, 0, "{class}: a surfaced fault escaped the oracle");
+        assert!(
+            det + abs <= inj,
+            "{class}: resolved more faults than were injected"
+        );
+        injected += inj;
+        resolved += det + abs;
+    }
+    assert!(injected > 0, "the chaos run must inject faults");
+    assert!(resolved > 0, "some faults must be detected or absorbed");
+}
+
+#[test]
+fn faults_off_is_pure() {
+    // Purity, both directions. (1) `with_faults(None)` is byte-identical
+    // to a config that never mentioned faults — no machinery is
+    // constructed, so the goldens cannot move. (2) No `faults.*` keys
+    // leak into the exported metrics when injection is off.
+    let cfg = chaos_config(EngineKind::Event);
+    let (base, obs_off) = System::run_rate_mode_observed(&cfg, chaos_profile(), 7);
+    let (off, _) =
+        System::run_rate_mode_observed(&cfg.clone().with_faults(None), chaos_profile(), 7);
+    assert_eq!(base, off, "with_faults(None) must be a no-op");
+    let reg = obs_off.expect("trace ring arms the observer").registry;
+    assert!(
+        reg.counters().all(|(k, _)| !k.starts_with("faults.")),
+        "faults-off runs must not export fault metrics"
+    );
+
+    // And faults ON must actually perturb the run — otherwise the two
+    // assertions above would pass vacuously.
+    let on_cfg = cfg.with_faults(Some(FaultPlan::new(1)));
+    let (on, _) = System::run_rate_mode_observed(&on_cfg, chaos_profile(), 7);
+    assert_ne!(base, on, "fault injection must perturb the run it is armed on");
+}
+
+#[test]
+fn ra_corruption_is_detected_and_attributed() {
+    // The pinned Replacement-Area scenario: only `ra_corrupt` faults are
+    // scheduled, so every detection MUST be attributed to that class —
+    // this pins both the recovery path (collided read → RA fetch →
+    // mirror check) and the attribution bookkeeping (a detection is
+    // charged to the class that caused it, not to a bucket).
+    let case = CorpusCase::load("fault-ra-corrupt");
+    let plan = FaultPlan {
+        seed: case.require("seed"),
+        period: case.require("period"),
+        classes: vec![FaultClass::RaCorrupt],
+        max: None,
+    };
+    for engine in ENGINES {
+        let mut cfg = chaos_config(engine)
+            .with_instructions(case.require("instructions"), 0)
+            .with_faults(Some(plan.clone()));
+        cfg.cid_bits = case.require("cid-bits") as u8;
+        let (report, obs) = System::run_rate_mode_observed(&cfg, chaos_profile(), 23);
+        let ra = report.ra.expect("attache reports ra stats");
+        assert!(ra.reads > 0, "{engine:?}: the scenario must exercise RA reads");
+        let reg = obs.expect("trace ring arms the observer").registry;
+        let [inj, det, _, undet] = fault_counters(&reg, FaultClass::RaCorrupt);
+        assert!(inj > 0, "{engine:?}: the pinned schedule must inject RA faults");
+        assert!(
+            det > 0,
+            "{engine:?}: a corrupted displaced bit must surface on a collided \
+             read and be caught by the oracle"
+        );
+        assert_eq!(undet, 0, "{engine:?}: no RA corruption may escape the oracle");
+        for class in FaultClass::ALL {
+            if class != FaultClass::RaCorrupt {
+                let c = fault_counters(&reg, class);
+                assert_eq!(
+                    c,
+                    [0; 4],
+                    "{engine:?}: {class} was never scheduled but has activity"
+                );
+            }
+        }
+    }
+}

@@ -61,6 +61,24 @@ ATTACHE_QUICK=1 ATTACHE_NO_CACHE=1 ATTACHE_RESULTS="$SMOKE_DIR" \
 ls "$SMOKE_DIR"/series/*.series.csv > /dev/null \
     || { echo "observability smoke: no series export found"; exit 1; }
 
+# The chaos harness: the fault-injection suite drives all seven fault
+# classes through the recovery paths with the mirror oracle as ground
+# truth (zero undetected faults), pins engine-identical schedules and
+# per-class accounting, and proves faults-off purity. Run once per
+# engine so the ambient-engine fault hooks stay covered.
+echo "=== fault injection under ATTACHE_ENGINE=cycle ==="
+ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release --test faults
+
+echo "=== fault injection under ATTACHE_ENGINE=event ==="
+ATTACHE_ENGINE=event cargo test -q -p attache-sim --release --test faults
+
+# The resilient executor: a poisoned grid job is quarantined with its
+# trace dump while siblings complete, a tick-budgeted job times out
+# structurally, and a sweep killed mid-way (ATTACHE_JOB_LIMIT) resumes
+# via ATTACHE_RESUME to byte-identical results.
+echo "=== resilient grid executor (quarantine / checkpoint-resume) ==="
+cargo test -q -p attache-bench --release --test resilient
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
