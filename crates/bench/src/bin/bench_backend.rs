@@ -1,0 +1,167 @@
+//! End-to-end backend benchmark: cycle-level DDR4 vs. the fast queueing
+//! model (`ATTACHE_BACKEND=fast`), both under the event engine.
+//!
+//! Runs a small grid of profiles through both timing backends
+//! (single-threaded, cache bypassed — this measures the simulator, not
+//! the harness), checks the backend-independent facts agree (instruction
+//! counts; the fast model must also be faster in *simulated* time, since
+//! it never pays activates or refresh), and writes wall times and
+//! speedups to `<results>/BENCH_backend.json`. The acceptance bar for
+//! the boundary — how much of a run the memory-timing model was — is
+//! recorded in the JSON as `best_speedup`.
+//!
+//! Run with `cargo run --release -p attache-bench --bin bench_backend`,
+//! or via `scripts/bench.sh`. `ATTACHE_INSTR` / `ATTACHE_WARMUP` /
+//! `ATTACHE_QUICK` control the run length as everywhere else.
+
+use attache_bench::ExperimentConfig;
+use attache_sim::{BackendKind, MetadataStrategyKind, SimConfig, System};
+use attache_workloads::Profile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Case {
+    profile: &'static str,
+    strategy: MetadataStrategyKind,
+}
+
+/// The measured grid mirrors `bench_engine`'s: RAND/STREAM keep the bus
+/// saturated (the regime where the cycle model's FR-FCFS scan burns the
+/// most host time per simulated cycle), the pointer chasers are the
+/// latency-bound middle, and CHASE is the serialized extreme where the
+/// event engine already skips most cycles on both backends.
+const CASES: &[Case] = &[
+    Case { profile: "RAND", strategy: MetadataStrategyKind::Baseline },
+    Case { profile: "RAND", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "STREAM", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "mcf", strategy: MetadataStrategyKind::Baseline },
+    Case { profile: "mcf", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "sphinx3", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "omnetpp", strategy: MetadataStrategyKind::Attache },
+    Case { profile: "CHASE", strategy: MetadataStrategyKind::Attache },
+];
+
+fn timed_run(cfg: &SimConfig, profile: Profile, seed: u64) -> (attache_sim::RunReport, f64) {
+    let t = Instant::now();
+    let report = System::run_rate_mode(cfg, profile, seed);
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// Repeat count per backend (`ATTACHE_BENCH_REPEAT`, default 2). Runs are
+/// interleaved cycle/fast and the per-backend minimum is reported, which
+/// discards transient machine noise the same way `hyperfine --min` does.
+fn repeats() -> usize {
+    std::env::var("ATTACHE_BENCH_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+fn main() {
+    let ec = ExperimentConfig::from_env();
+    // The backend axis IS the measurement here; pin the base config to
+    // the cycle reference regardless of any ambient ATTACHE_BACKEND.
+    let base = ec.sim_config().with_backend(BackendKind::Cycle);
+
+    println!(
+        "backend benchmark: {} instr + {} warm-up per core, seed {}",
+        ec.instructions, ec.warmup, ec.seed
+    );
+    println!(
+        "{:<10} {:<14} {:>11} {:>10} {:>9} {:>9}  {:>13}",
+        "workload", "strategy", "cycle [s]", "fast [s]", "speedup", "sim-span", "fast Mcyc/s"
+    );
+
+    let mut rows = String::new();
+    let mut best = 0.0f64;
+    for case in CASES {
+        let profile = Profile::by_name(case.profile).expect("known profile");
+        let cfg = base.clone().with_strategy(case.strategy);
+
+        let (mut s_cycle, mut s_fast) = (f64::INFINITY, f64::INFINITY);
+        let (mut r_cycle, mut r_fast) = (None, None);
+        for _ in 0..repeats() {
+            let (r, s) = timed_run(&cfg, profile.clone(), ec.seed);
+            s_cycle = s_cycle.min(s);
+            r_cycle = Some(r);
+            let (r, s) = timed_run(
+                &cfg.clone().with_backend(BackendKind::Fast),
+                profile.clone(),
+                ec.seed,
+            );
+            s_fast = s_fast.min(s);
+            r_fast = Some(r);
+        }
+        let (r_cycle, r_fast) = (r_cycle.expect("ran"), r_fast.expect("ran"));
+        // Backend-independent facts (docs/BACKENDS.md): both reach the
+        // retirement target (the last tick may overshoot by a few
+        // instructions, and by a backend-dependent amount, since several
+        // cores can retire on it), and the fast model is never slower in
+        // simulated time.
+        let target = 8 * ec.instructions;
+        assert!(
+            r_cycle.instructions >= target && r_fast.instructions >= target,
+            "{}: a backend stopped short of the retirement target",
+            case.profile
+        );
+        assert!(
+            r_cycle.instructions.abs_diff(r_fast.instructions) <= 64,
+            "{}: retirement overshoot diverged implausibly: cycle {} vs fast {}",
+            case.profile,
+            r_cycle.instructions,
+            r_fast.instructions
+        );
+        assert!(
+            r_fast.bus_cycles <= r_cycle.bus_cycles,
+            "{}: the fast model ran longer in simulated time",
+            case.profile
+        );
+
+        let speedup = s_cycle / s_fast;
+        best = best.max(speedup);
+        let span_ratio = r_cycle.bus_cycles as f64 / r_fast.bus_cycles.max(1) as f64;
+        let fast_rate = r_fast.bus_cycles as f64 / s_fast / 1e6;
+        println!(
+            "{:<10} {:<14} {:>11.3} {:>10.3} {:>8.2}x {:>8.2}x  {:>13.1}",
+            case.profile,
+            format!("{:?}", case.strategy),
+            s_cycle,
+            s_fast,
+            speedup,
+            span_ratio,
+            fast_rate,
+        );
+
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            concat!(
+                "    {{\"workload\": \"{}\", \"strategy\": \"{:?}\", ",
+                "\"cycle_secs\": {:.6}, \"fast_secs\": {:.6}, ",
+                "\"cycle_bus_cycles\": {}, \"fast_bus_cycles\": {}, ",
+                "\"fast_mcycles_per_sec\": {:.3}, \"speedup\": {:.3}}}"
+            ),
+            case.profile,
+            case.strategy,
+            s_cycle,
+            s_fast,
+            r_cycle.bus_cycles,
+            r_fast.bus_cycles,
+            fast_rate,
+            speedup,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"instructions\": {},\n  \"warmup\": {},\n  \"seed\": {},\n  \"cases\": [\n{}\n  ],\n  \"best_speedup\": {:.3}\n}}\n",
+        ec.instructions, ec.warmup, ec.seed, rows, best
+    );
+    let dir = ec.results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_backend.json");
+    std::fs::write(&path, json).expect("write BENCH_backend.json");
+    println!("\nbest speedup {best:.2}x -> {}", path.display());
+}

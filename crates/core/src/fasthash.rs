@@ -1,0 +1,120 @@
+//! A deterministic multiply-rotate hasher for interior `u64`-keyed maps.
+//!
+//! The simulator's hot per-access maps (transaction tables, stored-image
+//! tables, line-version tables) are keyed by line addresses and request
+//! ids and sit on the per-memory-op fast path, where `std`'s default
+//! SipHash costs more than the surrounding model code. This hasher is the
+//! classic Fx multiply-rotate mix: one rotate, one xor, one multiply per
+//! word — not DoS-resistant, which is fine for maps fed by the simulator's
+//! own deterministic address streams, never by external input.
+//!
+//! Determinism note: unlike `RandomState`, this hasher is fixed across
+//! processes, so even *iteration order* of a [`FastMap`] is reproducible.
+//! Simulator code must still never let map iteration order influence
+//! results (see `sim::faults` for the sorted-drain pattern); this just
+//! removes one source of cross-run noise while debugging.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx-style multiply-rotate [`Hasher`]. Word-at-a-time; the byte fallback
+/// only runs for non-integer keys, which the simulator does not use.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+/// The multiplier: 2^64 / phi, the usual Fibonacci-hashing constant.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`]. Drop-in for the default map: same
+/// API, deterministic and ~10x cheaper per lookup on integer keys.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_sequential_keys() {
+        // Line addresses arrive nearly sequential; the hash must not
+        // collapse them into the same buckets modulo small powers of two.
+        let mut low_bits = FastSet::default();
+        for k in 0u64..1024 {
+            let mut h = FastHasher::default();
+            h.write_u64(k);
+            low_bits.insert(h.finish() & 0xff);
+        }
+        assert!(low_bits.len() > 200, "only {} distinct low bytes", low_bits.len());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        // Pinned value: a silent algorithm change would shift every map's
+        // bucket layout; make that visible.
+        assert_eq!(a.finish(), (0u64.rotate_left(5) ^ 0xdead_beef).wrapping_mul(SEED));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k * 64, k);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(&(k * 64)), Some(&k));
+        }
+    }
+}

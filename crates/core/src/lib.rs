@@ -42,6 +42,7 @@
 
 pub mod blem;
 pub mod copr;
+pub mod fasthash;
 pub mod header;
 pub mod replacement_area;
 pub mod scramble;

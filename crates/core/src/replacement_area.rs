@@ -5,7 +5,7 @@
 //! of memory capacity, is invisible to the OS, and is touched only on CID
 //! collisions — i.e. ~`2^-cid_bits` of uncompressed-line traffic.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 /// Access counters for the RA (these become DRAM requests in the
 /// simulator).
@@ -33,7 +33,7 @@ pub struct ReplacementAreaStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReplacementArea {
-    bits: HashMap<u64, bool>,
+    bits: FastMap<u64, bool>,
     stats: ReplacementAreaStats,
 }
 

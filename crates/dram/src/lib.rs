@@ -30,15 +30,21 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bank;
 pub mod channel;
 pub mod config;
 pub mod conformance;
+pub mod fast;
 pub mod power;
 pub mod rank;
+pub mod referee;
 pub mod request;
 
+pub use backend::{new_backend, BackendKind, MemoryBackend, UnknownBackend};
 pub use channel::{Channel, ChannelStats, QueueFull};
+pub use fast::FastMemory;
+pub use referee::{referee_replay, RefereeConfig, RefereeReport, ReplaySummary, Tolerance};
 pub use config::{AddressMapping, DramConfig, Location, Timing};
 pub use conformance::{ConformanceChecker, ConformanceStats, DramCommand, TimingViolation};
 pub use power::{EnergyBreakdown, PowerModel, PowerParams};

@@ -25,7 +25,7 @@
 
 use attache_compress::Block;
 use attache_workloads::{DataProfile, DataSynthesizer, Profile};
-use std::collections::HashMap;
+use attache_core::fasthash::FastMap;
 
 /// One core's region of physical memory.
 #[derive(Debug, Clone)]
@@ -40,7 +40,7 @@ struct Region {
 pub struct MemoryBackend {
     synth: DataSynthesizer,
     regions: Vec<Region>,
-    versions: HashMap<u64, u16>,
+    versions: FastMap<u64, u16>,
     occupied_lines: u64,
     metadata_base: u64,
     ra_base: u64,
@@ -67,7 +67,7 @@ impl MemoryBackend {
         Self {
             synth: DataSynthesizer::new(seed),
             regions,
-            versions: HashMap::new(),
+            versions: FastMap::default(),
             occupied_lines: occupied,
             metadata_base,
             ra_base,

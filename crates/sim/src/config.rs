@@ -2,7 +2,7 @@
 
 use attache_cache::{LlcConfig, MetadataCacheConfig};
 use attache_core::copr::CoprConfig;
-use attache_dram::{DramConfig, PowerParams};
+use attache_dram::{BackendKind, DramConfig, PowerParams};
 
 /// Which metadata scheme the memory controller runs — the comparison axis
 /// of Figs. 12-15.
@@ -157,6 +157,12 @@ pub struct SimConfig {
     /// Main-loop engine (bit-identical results either way; see
     /// [`EngineKind`]).
     pub engine: EngineKind,
+    /// Memory timing backend (`ATTACHE_BACKEND=cycle|fast`; see
+    /// `docs/BACKENDS.md`). [`BackendKind::Cycle`] is the reference and
+    /// the default — goldens and figures are pinned to it;
+    /// [`BackendKind::Fast`] trades row/refresh fidelity for severalfold
+    /// faster exploratory sweeps inside a documented tolerance envelope.
+    pub backend: BackendKind,
     /// Run with the mirror-memory oracle attached (see [`crate::mirror`]):
     /// every writeback is shadow-copied and every functional read decode
     /// is verified against it, panicking on divergence. Pure observer —
@@ -209,6 +215,7 @@ impl SimConfig {
             store_version_salt: true,
             cid_bits: 14,
             engine: EngineKind::from_env(),
+            backend: backend_from_env(),
             mirror: mirror_from_env(),
             epoch: crate::env::env_u64_opt("ATTACHE_EPOCH"),
             trace_ring: crate::env::env_u64_opt("ATTACHE_TRACE_RING").map(|n| n as usize),
@@ -235,6 +242,13 @@ impl SimConfig {
     /// whatever `ATTACHE_ENGINE` selected).
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Same configuration with an explicit memory backend (overriding
+    /// whatever `ATTACHE_BACKEND` selected).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -290,6 +304,31 @@ fn mirror_from_env() -> bool {
     match std::env::var("ATTACHE_MIRROR") {
         Ok(v) => !v.is_empty() && v != "0",
         Err(_) => false,
+    }
+}
+
+/// Reads `ATTACHE_BACKEND` (`cycle` or `fast`); unset, empty or
+/// unparsable values fall back to the cycle backend — with a warning on
+/// stderr for unparsable values, never a panic, so a typo cannot kill a
+/// sweep mid-flight. Deliberately *not* cached in a `OnceLock`: tests
+/// and the grid toggle the variable between config constructions.
+pub fn backend_from_env() -> BackendKind {
+    backend_from_env_value(std::env::var("ATTACHE_BACKEND").ok().as_deref())
+}
+
+/// The pure classifier behind [`backend_from_env`], testable without
+/// touching the process environment.
+pub fn backend_from_env_value(value: Option<&str>) -> BackendKind {
+    match value {
+        None => BackendKind::Cycle,
+        Some("") => BackendKind::Cycle,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: ATTACHE_BACKEND={v:?} is not \"cycle\" or \"fast\"; \
+                 using the cycle backend"
+            );
+            BackendKind::Cycle
+        }),
     }
 }
 

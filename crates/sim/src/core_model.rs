@@ -66,6 +66,34 @@ pub struct Core {
     /// [`mlp_limit`](attache_workloads::Profile::mlp_limit) (a serialized
     /// pointer chase caps it at 1).
     pub max_outstanding: usize,
+    /// Exact count of [`MemState::NeedIssue`] slots in the ROB. Together
+    /// with [`issue_from`](Self::issue_from) this lets the per-cycle issue
+    /// pass (and the event engine's wake probe) stop as soon as every
+    /// un-issued op has been visited instead of walking the whole ROB.
+    /// Maintained by [`fill_rob`](Self::fill_rob) / [`retire`](Self::retire)
+    /// here and by the issue pass in `sim::system`; only meaningful while
+    /// the ROB is mutated through those paths.
+    pub need_issue: u32,
+    /// Index of the first ROB slot that can be in `NeedIssue` state — a
+    /// lower bound kept exact by the issue pass (first stalled slot), by
+    /// `fill_rob` (first push while `need_issue == 0`), and by `retire`
+    /// (shifted down as head slots pop). Unspecified while
+    /// `need_issue == 0`.
+    pub issue_from: usize,
+    /// Snapshot taken after an issue pass in which *every* un-issued slot
+    /// stalled (such a pass is side-effect-free): the system's
+    /// issue-environment generation, paired with
+    /// [`stall_outstanding`](Self::stall_outstanding) /
+    /// [`stall_need_issue`](Self::stall_need_issue). While all three still
+    /// match, repeating the pass would provably stall identically, so
+    /// `sim::system` skips it. `u64::MAX` means "no valid snapshot".
+    pub stall_env_gen: u64,
+    /// MSHR occupancy at the snapshot (a completion freeing an MSHR can
+    /// turn a stall into an issue).
+    pub stall_outstanding: usize,
+    /// `need_issue` at the snapshot (`fill_rob` appending a fresh op must
+    /// re-run the pass).
+    pub stall_need_issue: u32,
 }
 
 impl Core {
@@ -83,6 +111,11 @@ impl Core {
             cpu_now: 0,
             outstanding: 0,
             max_outstanding,
+            need_issue: 0,
+            issue_from: 0,
+            stall_env_gen: u64::MAX,
+            stall_outstanding: 0,
+            stall_need_issue: 0,
         }
     }
 
@@ -96,11 +129,15 @@ impl Core {
                 });
                 self.occupancy += ev.gap_instructions;
             }
+            if self.need_issue == 0 {
+                self.issue_from = self.rob.len();
+            }
             self.rob.push_back(Slot::Mem {
                 line: self.base_line + ev.line_offset,
                 is_write: ev.is_write,
                 state: MemState::NeedIssue,
             });
+            self.need_issue += 1;
             self.occupancy += 1;
         }
     }
@@ -109,6 +146,11 @@ impl Core {
     /// many retired.
     pub fn retire(&mut self, width: u32) -> u32 {
         let mut budget = width;
+        // Slots popped off the head shift every remaining index down, so
+        // the `issue_from` bound must shift with them. A popped slot is
+        // never in `NeedIssue` state (an un-issued head blocks retirement),
+        // so `need_issue` itself is unaffected.
+        let mut pops = 0usize;
         while budget > 0 {
             match self.rob.front_mut() {
                 Some(Slot::Gap { remaining }) => {
@@ -119,6 +161,7 @@ impl Core {
                     self.retired += take as u64;
                     if *remaining == 0 {
                         self.rob.pop_front();
+                        pops += 1;
                     }
                 }
                 Some(Slot::Mem {
@@ -138,6 +181,7 @@ impl Core {
                         break;
                     }
                     self.rob.pop_front();
+                    pops += 1;
                     self.occupancy -= 1;
                     self.retired += 1;
                     budget -= 1;
@@ -145,6 +189,7 @@ impl Core {
                 None => break,
             }
         }
+        self.issue_from = self.issue_from.saturating_sub(pops);
         width - budget
     }
 

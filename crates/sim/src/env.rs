@@ -28,6 +28,7 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 /// motivating case: `ATTACHE_EPOC=50000` silently sampling nothing), so
 /// [`warn_unknown_knobs_once`] flags it at sim startup.
 pub const KNOWN_KNOBS: &[&str] = &[
+    "ATTACHE_BACKEND",
     "ATTACHE_BENCH_REPEAT",
     "ATTACHE_BLESS",
     "ATTACHE_CONFORMANCE",

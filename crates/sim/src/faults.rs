@@ -43,6 +43,7 @@
 //! tick — so with a fixed plan both engines inject, detect, and absorb
 //! identically (asserted by `crates/sim/tests/faults.rs`).
 
+use attache_core::fasthash::FastMap;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -301,7 +302,7 @@ impl FaultPlan {
 /// usable).
 pub struct FaultTargets<'a> {
     /// The stored-image map (Attaché's DRAM contents).
-    pub images: &'a mut HashMap<u64, StoredImage>,
+    pub images: &'a mut FastMap<u64, StoredImage>,
     /// The BLEM engine, when the strategy has one.
     pub blem: Option<&'a mut Blem>,
     /// The Metadata-Cache, when the strategy has one.

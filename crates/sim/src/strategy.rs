@@ -42,7 +42,7 @@ use attache_compress::CompressionEngine;
 use attache_core::blem::{Blem, StoredImage};
 use attache_core::copr::{Copr, CoprConfig};
 use attache_dram::{AccessKind, AccessWidth, AddressMapping, Origin, SubrankId};
-use std::collections::HashMap;
+use attache_core::fasthash::FastMap;
 
 use crate::backend::MemoryBackend;
 use crate::config::MetadataStrategyKind;
@@ -106,12 +106,12 @@ pub struct Strategy {
     engine: CompressionEngine,
     mapping: AddressMapping,
     // MetadataCache / Oracle state: the stored layout's compressibility.
-    stored_comp: HashMap<u64, bool>,
+    stored_comp: FastMap<u64, bool>,
     meta_cache: Option<MetadataCache>,
     // Attaché state.
     blem: Option<Blem>,
     copr: Option<Copr>,
-    images: HashMap<u64, StoredImage>,
+    images: FastMap<u64, StoredImage>,
     stats: StrategyStats,
     // Optional shadow-copy correctness oracle (see crate::mirror).
     mirror: Option<MirrorOracle>,
@@ -152,11 +152,11 @@ impl Strategy {
             kind,
             engine: CompressionEngine::new(),
             mapping,
-            stored_comp: HashMap::new(),
+            stored_comp: FastMap::default(),
             meta_cache,
             blem,
             copr,
-            images: HashMap::new(),
+            images: FastMap::default(),
             stats: StrategyStats::default(),
             mirror: None,
             trace: None,

@@ -2,11 +2,12 @@
 
 use attache_core::copr::CoprConfig;
 use attache_dram::{
-    AccessKind, AddressMapping, Completion, MemRequest, MemorySystem,
+    AccessKind, AddressMapping, Completion, MemRequest, MemoryBackend as DramBackend,
 };
 use attache_workloads::{MixWorkload, Profile, TraceGenerator};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use attache_core::fasthash::FastMap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::backend::MemoryBackend;
 use crate::config::{EngineKind, SimConfig};
@@ -77,12 +78,16 @@ pub struct System {
     cfg: SimConfig,
     cores: Vec<Core>,
     llc: attache_cache::Llc,
-    mem: MemorySystem,
+    /// The memory *timing* backend (`cfg.backend`): cycle-level DDR4 or
+    /// the fast queueing model, behind the `attache_dram::MemoryBackend`
+    /// boundary. Distinct from [`MemoryBackend`], this crate's
+    /// *functional* backend (contents/compressibility, cycle-free).
+    mem: Box<dyn DramBackend>,
     strategy: Strategy,
     backend: MemoryBackend,
-    txns: HashMap<u64, Txn>,
-    txn_by_req: HashMap<u64, u64>,
-    pending_lines: HashMap<u64, u64>,
+    txns: FastMap<u64, Txn>,
+    txn_by_req: FastMap<u64, u64>,
+    pending_lines: FastMap<u64, u64>,
     retry_q: VecDeque<MemRequest>,
     delayed: BinaryHeap<Reverse<DelayedReq>>,
     next_txn: u64,
@@ -94,10 +99,25 @@ pub struct System {
     /// [`bus_tick_event`](Self::bus_tick_event); the per-cycle engine
     /// ignores it.
     core_wake: Vec<u64>,
-    /// Event engine only: [`MemorySystem::mutation_gen`] at the last retry
+    /// Event engine only: the backend's
+    /// [`mutation_gen`](DramBackend::mutation_gen) at the last retry
     /// flush pass. While unchanged, every retry would be rejected again,
     /// so the pass is skipped.
     flush_gen: u64,
+    /// Generation counter for the state the issue pass reads beyond the
+    /// core's own ROB: LLC contents, retry-queue headroom, and MSHR-
+    /// freeing completions. Bumped (both engines) whenever that state
+    /// changes in a direction that could turn a stalled `NeedIssue` slot
+    /// issuable; cores gate their issue pass on it (see
+    /// [`Core::stall_env_gen`]).
+    issue_env_gen: u64,
+    /// Event engine only: a fault action mutated DRAM state at the tail
+    /// of the last executed tick (e.g. a derate overwrite that *raised*
+    /// the capped read-queue capacity). Enqueue outcomes may have
+    /// improved, so the next tick must run for real — the per-cycle
+    /// engine re-flushes retries every cycle and would accept them
+    /// there. Consumed by [`horizon`](Self::horizon).
+    fault_mem_action: bool,
     /// Observability sampler/tracer — present only when a knob is on
     /// (`ATTACHE_EPOCH` / `ATTACHE_TRACE_RING` or their builders). A
     /// pure observer: never consulted by any model decision.
@@ -186,7 +206,7 @@ impl System {
         let observation = sys
             .observer
             .as_mut()
-            .map(|o| o.finish(now, &sys.mem, &sys.llc, &sys.strategy, &sys.cfg));
+            .map(|o| o.finish(now, sys.mem.as_ref(), &sys.llc, &sys.strategy, &sys.cfg));
         (report, observation)
     }
 
@@ -214,7 +234,7 @@ impl System {
             strategy.enable_faults(plan);
         }
         let observer = Observer::from_config(cfg);
-        let mut mem = MemorySystem::new(cfg.dram, cfg.power);
+        let mut mem = attache_dram::new_backend(cfg.backend, cfg.dram, cfg.power);
         if let Some(ring) = observer.as_ref().and_then(|o| o.ring.clone()) {
             strategy.set_trace(ring.clone());
             mem.set_trace(ring);
@@ -240,9 +260,9 @@ impl System {
             mem,
             strategy,
             backend,
-            txns: HashMap::new(),
-            txn_by_req: HashMap::new(),
-            pending_lines: HashMap::new(),
+            txns: FastMap::default(),
+            txn_by_req: FastMap::default(),
+            pending_lines: FastMap::default(),
             retry_q: VecDeque::new(),
             delayed: BinaryHeap::new(),
             next_txn: 0,
@@ -250,6 +270,8 @@ impl System {
             cpu_accum: 0,
             core_wake: vec![0; cfg.core.cores],
             flush_gen: u64::MAX,
+            issue_env_gen: 0,
+            fault_mem_action: false,
             observer,
         }
     }
@@ -311,8 +333,8 @@ impl System {
     /// [`bus_tick`](Self::bus_tick), but every phase consults a cached
     /// bound before doing work:
     ///
-    /// * channels with a future [`next_event`](MemorySystem::next_event)
-    ///   bound skip their scheduler pass ([`MemorySystem::tick_event`]);
+    /// * channels with a future [`next_event`](DramBackend::next_event)
+    ///   bound skip their scheduler pass ([`DramBackend::tick_event`]);
     /// * retries are only re-attempted when queue/bank state has mutated
     ///   since the last pass (`mutation_gen`) — enqueue outcomes are pure
     ///   functions of that state, so a pass against frozen state is a
@@ -395,6 +417,14 @@ impl System {
     /// mirrors its per-cycle gate exactly.
     fn horizon(&mut self, now: u64) -> u64 {
         let soon = now + 1;
+        // A fault action touched DRAM state after this tick's retry
+        // flush (a derate overwrite can raise the capped capacity, i.e.
+        // improve enqueue outcomes). The per-cycle engine re-flushes
+        // next cycle; execute that tick for real so the gen-gated flush
+        // runs at the same cycle.
+        if std::mem::take(&mut self.fault_mem_action) {
+            return soon;
+        }
         let mut horizon = u64::MAX;
         for &w in &self.core_wake {
             debug_assert!(w > now, "stale core wake");
@@ -439,14 +469,21 @@ impl System {
             return soon; // fill_rob will add instructions
         }
         // A stalled memory op that would issue now makes the core active.
-        for slot in &core.rob {
+        // Bounded by the same `need_issue` bookkeeping as the issue pass:
+        // only the un-issued slots are probed.
+        let mut remaining = core.need_issue;
+        for idx in core.issue_from..core.rob.len() {
+            if remaining == 0 {
+                break;
+            }
             if let Slot::Mem {
                 line,
                 state: MemState::NeedIssue,
                 ..
-            } = slot
+            } = core.rob[idx]
             {
-                if self.llc.probe_line(*line)
+                remaining -= 1;
+                if self.llc.probe_line(line)
                     || (core.outstanding < core.max_outstanding
                         && self.retry_q.len() < RETRY_CAP)
                 {
@@ -567,6 +604,7 @@ impl System {
             match action {
                 crate::faults::FaultAction::DerateReads { cap, until } => {
                     self.mem.fault_derate_reads(cap, until);
+                    self.fault_mem_action = true;
                 }
             }
         }
@@ -599,30 +637,67 @@ impl System {
     fn observe_tick(&mut self) {
         let now = self.mem.now();
         if let Some(obs) = self.observer.as_mut() {
-            obs.on_tick(now, &self.mem, &self.llc, &self.strategy, &self.cfg);
+            obs.on_tick(now, self.mem.as_ref(), &self.llc, &self.strategy, &self.cfg);
         }
     }
 
     fn cpu_cycle(&mut self, core: &mut Core) {
         core.fill_rob(self.cfg.core.rob_size);
 
-        // Issue pass: present NeedIssue memory ops to the LLC / memory.
-        for idx in 0..core.rob.len() {
-            let Slot::Mem {
-                line,
-                is_write,
-                state,
-            } = core.rob[idx]
-            else {
-                continue;
-            };
-            if state != MemState::NeedIssue {
-                continue;
-            }
-            if let Some(new_state) = self.issue_mem_op(core, line, is_write) {
-                if let Slot::Mem { state, .. } = &mut core.rob[idx] {
-                    *state = new_state;
+        // Issue pass: present NeedIssue memory ops to the LLC / memory, in
+        // ROB order. The `need_issue` count and `issue_from` bound let the
+        // walk start at the first un-issued slot and stop once all of them
+        // have been visited — same slots, same order as a full scan. A
+        // pass in which every slot stalls mutates nothing (`issue_mem_op`
+        // returns `None` before touching any state), so while the stall
+        // snapshot still matches, the whole pass is skipped: it would
+        // provably stall identically.
+        if core.need_issue > 0
+            && core.stall_env_gen == self.issue_env_gen
+            && core.stall_outstanding == core.outstanding
+            && core.stall_need_issue == core.need_issue
+        {
+            // Identical all-stall pass: skip.
+        } else if core.need_issue > 0 {
+            let before = core.need_issue;
+            let mut remaining = core.need_issue;
+            let mut first_stalled = None;
+            for idx in core.issue_from..core.rob.len() {
+                if remaining == 0 {
+                    break;
                 }
+                let Slot::Mem {
+                    line,
+                    is_write,
+                    state,
+                } = core.rob[idx]
+                else {
+                    continue;
+                };
+                if state != MemState::NeedIssue {
+                    continue;
+                }
+                remaining -= 1;
+                if let Some(new_state) = self.issue_mem_op(core, line, is_write) {
+                    if let Slot::Mem { state, .. } = &mut core.rob[idx] {
+                        *state = new_state;
+                    }
+                    core.need_issue -= 1;
+                } else if first_stalled.is_none() {
+                    first_stalled = Some(idx);
+                }
+            }
+            core.issue_from = first_stalled.unwrap_or(core.rob.len());
+            if core.need_issue == before {
+                core.stall_env_gen = self.issue_env_gen;
+                core.stall_outstanding = core.outstanding;
+                core.stall_need_issue = core.need_issue;
+            } else {
+                // Issues mutated the LLC / transaction state; other cores
+                // share none of it (disjoint footprints) but the retry
+                // queue may have grown — growth only strengthens stalls,
+                // so their snapshots stay valid. Clear only our own.
+                core.stall_env_gen = u64::MAX;
             }
         }
 
@@ -778,6 +853,10 @@ impl System {
                 self.retry_q.push_back(req);
             }
         }
+        if self.retry_q.len() < n {
+            // Retry headroom appeared: stalled issue passes may now accept.
+            self.issue_env_gen += 1;
+        }
     }
 
     fn on_completion(&mut self, c: Completion) {
@@ -820,6 +899,9 @@ impl System {
     }
 
     fn finish_txn(&mut self, txn_id: u64) {
+        // A finishing transaction frees MSHRs and clears its pending
+        // line: stalled issue passes must re-run.
+        self.issue_env_gen += 1;
         let txn = self.txns.remove(&txn_id).expect("transaction exists");
         if self.pending_lines.get(&txn.line) == Some(&txn_id) {
             self.pending_lines.remove(&txn.line);

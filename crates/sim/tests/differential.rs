@@ -5,7 +5,7 @@
 //! This is the contract that lets every figure binary default to the event
 //! engine: it is purely a wall-clock optimization, never a model change.
 
-use attache_sim::{EngineKind, MetadataStrategyKind, SimConfig, System};
+use attache_sim::{BackendKind, EngineKind, MetadataStrategyKind, SimConfig, System};
 use attache_workloads::{mixes, AccessPattern, Category, DataProfile, Profile, Suite};
 
 const STRATEGIES: [MetadataStrategyKind; 4] = [
@@ -101,6 +101,49 @@ fn event_engine_stops_on_the_target_tick() {
     cfg.engine = EngineKind::Event;
     let event = System::run_rate_mode(&cfg, Profile::chase(), 42);
     assert_eq!(cycle, event, "engines disagree across a deep warm-up");
+}
+
+#[test]
+fn engines_agree_on_the_fast_backend_all_strategies() {
+    // The tentpole's engine contract extends to every MemoryBackend:
+    // the fast queueing model's next_event/mutation_gen/derate bounds
+    // must be exact, or the event engine would skip a retirement or a
+    // retry-flush cycle the reference engine runs. Bit-identity here is
+    // what makes `ATTACHE_BACKEND=fast` composable with the default
+    // event engine on sweeps.
+    for s in STRATEGIES {
+        let mut cfg = quick(s).with_backend(BackendKind::Fast);
+        cfg.engine = EngineKind::Cycle;
+        let cycle = System::run_rate_mode(&cfg, Profile::rand(), 23);
+        cfg.engine = EngineKind::Event;
+        let event = System::run_rate_mode(&cfg, Profile::rand(), 23);
+        assert_eq!(cycle, event, "engines disagree on the fast backend for {s}");
+        assert_eq!(
+            cycle.energy.total_pj().to_bits(),
+            event.energy.total_pj().to_bits(),
+            "fast-backend energy bits disagree for {s}"
+        );
+    }
+}
+
+#[test]
+fn cycle_backend_behind_the_trait_is_bit_identical() {
+    // Tentpole pin: the refactor routed the cycle model through a boxed
+    // `MemoryBackend`, and `with_backend(Cycle)` must be
+    // indistinguishable from the pre-refactor default — on BOTH engines
+    // (the golden-stats suite pins the same property against
+    // tests/goldens/ snapshots taken before the refactor).
+    for engine in [EngineKind::Cycle, EngineKind::Event] {
+        let mut cfg = quick(MetadataStrategyKind::Attache);
+        cfg.engine = engine;
+        let default_backend = System::run_rate_mode(&cfg, Profile::stream(), 29);
+        let explicit = System::run_rate_mode(
+            &cfg.clone().with_backend(BackendKind::Cycle),
+            Profile::stream(),
+            29,
+        );
+        assert_eq!(default_backend, explicit, "{engine:?}");
+    }
 }
 
 #[test]

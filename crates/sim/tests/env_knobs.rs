@@ -9,7 +9,10 @@
 //! functions of a binary concurrently and `set_var` is process-global;
 //! a second env-mutating test here would race this one.
 
-use attache_sim::{env_u64, env_u64_opt, unknown_knobs, FaultPlan, SimConfig, KNOWN_KNOBS};
+use attache_sim::{
+    backend_from_env_value, env_u64, env_u64_opt, unknown_knobs, BackendKind, FaultPlan,
+    SimConfig, KNOWN_KNOBS,
+};
 
 #[test]
 fn env_knob_parsing_is_total() {
@@ -78,6 +81,76 @@ fn env_knob_parsing_is_total() {
     assert_eq!(SimConfig::table2_baseline().tick_budget, Some(90_000));
     std::env::remove_var("ATTACHE_JOB_TICK_BUDGET");
     assert_eq!(SimConfig::table2_baseline().tick_budget, None);
+
+    // ATTACHE_BACKEND follows the warn-don't-panic contract too: a typo
+    // mid-sweep warns and falls back to the cycle reference, never
+    // panics (the bench::grid regression this PR fixes).
+    std::env::set_var("ATTACHE_BACKEND", "dramsim3");
+    assert_eq!(SimConfig::table2_baseline().backend, BackendKind::Cycle);
+    std::env::set_var("ATTACHE_BACKEND", "");
+    assert_eq!(SimConfig::table2_baseline().backend, BackendKind::Cycle);
+    std::env::set_var("ATTACHE_BACKEND", "FAST"); // case-insensitive
+    assert_eq!(SimConfig::table2_baseline().backend, BackendKind::Fast);
+    std::env::set_var("ATTACHE_BACKEND", "cycle");
+    assert_eq!(SimConfig::table2_baseline().backend, BackendKind::Cycle);
+    std::env::remove_var("ATTACHE_BACKEND");
+    assert_eq!(SimConfig::table2_baseline().backend, BackendKind::Cycle);
+}
+
+#[test]
+fn backend_classifier_is_total() {
+    // The pure classifier behind ATTACHE_BACKEND — exercised without
+    // touching the process environment, so it can run alongside the
+    // env-mutating test above.
+    assert_eq!(backend_from_env_value(None), BackendKind::Cycle);
+    assert_eq!(backend_from_env_value(Some("")), BackendKind::Cycle);
+    assert_eq!(backend_from_env_value(Some("cycle")), BackendKind::Cycle);
+    assert_eq!(backend_from_env_value(Some("fast")), BackendKind::Fast);
+    assert_eq!(backend_from_env_value(Some("Fast")), BackendKind::Fast);
+    assert_eq!(backend_from_env_value(Some("hbm2")), BackendKind::Cycle);
+}
+
+#[test]
+fn every_registered_knob_is_documented_in_knobs_md() {
+    // docs/KNOBS.md is the reference table for every ATTACHE_* variable;
+    // registering a knob in KNOWN_KNOBS without documenting it there
+    // fails this test (the satellite contract of PR 6). The knob name
+    // must appear in backticks, i.e. as a table entry, not prose luck.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/KNOBS.md");
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/KNOBS.md must exist ({e})"));
+    let missing: Vec<&str> = KNOWN_KNOBS
+        .iter()
+        .copied()
+        .filter(|knob| !doc.contains(&format!("`{knob}`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "knobs registered in KNOWN_KNOBS but missing from docs/KNOBS.md: {missing:?}"
+    );
+    // And the reverse: the doc must not promise knobs nobody reads.
+    for line in doc.lines() {
+        let mut rest = line;
+        while let Some(start) = rest.find("`ATTACHE_") {
+            let tail = &rest[start + 1..];
+            let Some(end) = tail.find('`') else { break };
+            let token = &tail[..end];
+            // The token may be a usage example (`ATTACHE_FAULTS=seed=7`);
+            // the knob name is its leading [A-Z0-9_] run.
+            let name_len = token
+                .find(|c: char| !(c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+                .unwrap_or(token.len());
+            let name = &token[..name_len];
+            // Tolerate glob-style references like `ATTACHE_*` in prose.
+            if !token.starts_with("ATTACHE_*") {
+                assert!(
+                    KNOWN_KNOBS.contains(&name),
+                    "docs/KNOBS.md documents {name}, which is not in KNOWN_KNOBS"
+                );
+            }
+            rest = &tail[end + 1..];
+        }
+    }
 }
 
 #[test]

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Engine benchmark driver: builds the release workspace and runs the
-# cycle-vs-event engine comparison over the memory-bound profile grid,
-# writing wall times and speedups to `results/BENCH_engine.json`.
+# Simulator benchmark driver: builds the release workspace and runs
+#   * the cycle-vs-event engine comparison  -> results/BENCH_engine.json
+#   * the cycle-vs-fast backend comparison  -> results/BENCH_backend.json
+# over the memory-bound profile grid, writing wall times and speedups.
 #
 # Knobs (all optional, same semantics as the experiment harness):
 #   ATTACHE_QUICK=1        fast smoke configuration (40k/8k instructions)
 #   ATTACHE_INSTR / ATTACHE_WARMUP
 #                          explicit run length per core
-#   ATTACHE_BENCH_REPEAT   interleaved repeats per engine; the per-engine
-#                          minimum is reported (default 3 here)
+#   ATTACHE_BENCH_REPEAT   interleaved repeats per engine/backend; the
+#                          per-side minimum is reported (default 3 here)
 #   ATTACHE_RESULTS        output directory (default results/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,3 +18,4 @@ export ATTACHE_BENCH_REPEAT="${ATTACHE_BENCH_REPEAT:-3}"
 
 cargo build --release -p attache-bench
 ./target/release/bench_engine
+./target/release/bench_backend

@@ -72,6 +72,31 @@ ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release --test faults
 echo "=== fault injection under ATTACHE_ENGINE=event ==="
 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release --test faults
 
+# Backend conformance (docs/BACKENDS.md): the dram crate's referee
+# replays identical request streams through the cycle and fast backends
+# and fails when divergence leaves the documented tolerance envelope;
+# the sim-level backend + differential suites then pin end-to-end
+# behavior — cycle-backend bit-identity behind the trait, engine
+# bit-identity on the fast backend, fault-derate expiry — under both
+# engines.
+echo "=== backend conformance: cross-model referee ==="
+ATTACHE_QUICK=1 cargo test -q -p attache-dram --release referee
+
+echo "=== backend conformance: sim suites under ATTACHE_ENGINE=cycle ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release \
+    --test backends --test differential
+
+echo "=== backend conformance: sim suites under ATTACHE_ENGINE=event ==="
+ATTACHE_QUICK=1 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release \
+    --test backends --test differential
+
+# The backend contract is documentation-first (a third backend is meant
+# to be written from docs/BACKENDS.md + the trait rustdoc alone), so
+# broken intra-doc links or malformed rustdoc on the dram crate are CI
+# failures, not warnings.
+echo "=== rustdoc gate (attache-dram, -D warnings) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p attache-dram --quiet
+
 # The resilient executor: a poisoned grid job is quarantined with its
 # trace dump while siblings complete, a tick-budgeted job times out
 # structurally, and a sweep killed mid-way (ATTACHE_JOB_LIMIT) resumes
