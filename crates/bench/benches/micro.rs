@@ -86,6 +86,70 @@ fn bench_compression() {
             black_box(engine.decompress(black_box(img)));
         }
     });
+    bench_kernel_pairs(&blocks, &engine);
+}
+
+/// Scalar-vs-vectorized pairs for the rewritten kernels, plus engine
+/// round-trips per corpus class. The `scalar` modules are the pre-SIMD
+/// reference implementations kept for the equivalence property tests;
+/// these rows track how much the lane kernels actually buy.
+fn bench_kernel_pairs(blocks: &[Block], engine: &CompressionEngine) {
+    use attache_compress::{bdi, fpc};
+    bench("bdi_encode_scalar_4blocks", 100_000, || {
+        for blk in blocks {
+            black_box(bdi::scalar::best_encoding(black_box(blk)));
+            black_box(bdi::scalar::compress(black_box(blk)));
+        }
+    });
+    let bdi_engine = Bdi::new();
+    bench("bdi_encode_vector_4blocks", 100_000, || {
+        for blk in blocks {
+            black_box(Bdi::best_encoding(black_box(blk)));
+            black_box(bdi_engine.compress(black_box(blk)));
+        }
+    });
+    let words: Vec<u32> = blocks
+        .iter()
+        .flat_map(|b| b.chunks_exact(4))
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    bench("fpc_classify_scalar_64w", 100_000, || {
+        for &w in &words {
+            black_box(fpc::scalar::classify_word(black_box(w)));
+        }
+    });
+    bench("fpc_classify_branchless_64w", 100_000, || {
+        for &w in &words {
+            black_box(fpc::classify_word(black_box(w)));
+        }
+    });
+    // Engine round-trips per corpus class: the early exit makes these
+    // diverge (compressible lines often skip the FPC pass entirely).
+    let mut rnd_corpus = Vec::new();
+    let mut s = 0x9E37_79B9u64;
+    for _ in 0..4 {
+        let mut b = [0u8; 64];
+        for byte in b.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *byte = (s >> 24) as u8;
+        }
+        rnd_corpus.push(b);
+    }
+    let corpora: [(&str, Vec<Block>); 3] = [
+        ("engine_roundtrip_compressible", blocks[..3].to_vec()),
+        ("engine_roundtrip_incompress", rnd_corpus),
+        ("engine_roundtrip_mixed", blocks.to_vec()),
+    ];
+    for (name, corpus) in corpora {
+        bench(name, 100_000, || {
+            for blk in &corpus {
+                let out = engine.compress(black_box(blk));
+                black_box(engine.decompress(black_box(&out)));
+            }
+        });
+    }
 }
 
 fn bench_predictor() {

@@ -1,0 +1,264 @@
+//! Compression hot-path benchmark: kernel throughput plus end-to-end
+//! simulation rate, with a per-PR trajectory file.
+//!
+//! Two layers:
+//!
+//! * **Kernel MB/s** — BDI and FPC compress/decompress over a mixed
+//!   corpus (compressible integers, pointer lines, zero lines, random
+//!   noise), in megabytes of block data per second. This is what the
+//!   SIMD lane rewrite targets directly.
+//! * **End-to-end Mcyc/s** — simulated bus-cycles per wall-second under
+//!   the Attaché strategy on mcf / sphinx3 / omnetpp / STREAM. This is
+//!   what the user actually feels; the compression kernels, the probe
+//!   cache, and the content memo all land here.
+//!
+//! Results go to `<results>/BENCH_compress.json`, and a dated line is
+//! appended to `<results>/BENCH_trajectory.tsv` so the numbers form a
+//! per-PR trajectory instead of a point sample. `ATTACHE_BENCH_REPEAT`
+//! (default 2) controls min-of-N repeats, as in the other bench bins.
+//!
+//! Run with `cargo run --release -p attache-bench --bin bench_compress`,
+//! or via `scripts/bench.sh`.
+
+use attache_bench::ExperimentConfig;
+use attache_compress::{bdi::Bdi, fpc::Fpc, Block, Compressed, CompressionEngine, Compressor};
+use attache_sim::{MetadataStrategyKind, System};
+use attache_workloads::Profile;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Workloads for the end-to-end layer: the paper's pointer chasers (the
+/// mcf class, where per-access model cost dominates) plus STREAM (the
+/// bandwidth-bound extreme, compression-heavy write traffic).
+const WORKLOADS: &[&str] = &["mcf", "sphinx3", "omnetpp", "STREAM"];
+
+/// Repeat count (`ATTACHE_BENCH_REPEAT`, default 2); the per-case best
+/// is reported, discarding transient machine noise.
+fn repeats() -> usize {
+    std::env::var("ATTACHE_BENCH_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// The kernel corpus: one block per content class the engine's fast
+/// paths distinguish, so the average is not dominated by any one early
+/// exit.
+fn corpus() -> Vec<Block> {
+    let mut blocks = vec![[0u8; 64]];
+    let mut ints = [0u8; 64];
+    for (i, c) in ints.chunks_exact_mut(4).enumerate() {
+        c.copy_from_slice(&(i as u32 % 50).to_le_bytes());
+    }
+    blocks.push(ints);
+    let mut ptrs = [0u8; 64];
+    for (i, c) in ptrs.chunks_exact_mut(8).enumerate() {
+        c.copy_from_slice(&(0x7F00_0000_1000u64 + 64 * i as u64).to_le_bytes());
+    }
+    blocks.push(ptrs);
+    let mut s = 0x1234_5678u64;
+    for _ in 0..3 {
+        let mut rnd = [0u8; 64];
+        for b in rnd.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *b = (s >> 32) as u8;
+        }
+        blocks.push(rnd);
+    }
+    blocks
+}
+
+/// Times `f` over enough iterations of the corpus to fill ~50 ms, best
+/// of [`repeats`] passes, and returns block-bytes processed per second
+/// in MB/s (1 MB = 1e6 bytes, so the numbers read as bandwidth).
+fn kernel_rate(blocks_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    const ITERS: u64 = 50_000;
+    for _ in 0..ITERS / 10 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats() {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (ITERS as f64 * blocks_per_iter as f64 * 64.0) / best / 1e6
+}
+
+/// `YYYY-MM-DD` (UTC) from the system clock — civil-from-days (Howard
+/// Hinnant's algorithm), no date dependency needed.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("post-epoch clock")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let ec = ExperimentConfig::from_env();
+    let blocks = corpus();
+    let n = blocks.len();
+
+    println!("compression benchmark: {} blocks/corpus pass", n);
+    println!("{:<24} {:>12}", "kernel", "MB/s");
+
+    let bdi = Bdi::new();
+    let fpc = Fpc::new();
+    let engine = CompressionEngine::new();
+    let bdi_images: Vec<Option<Compressed>> = blocks.iter().map(|b| bdi.compress(b)).collect();
+    let fpc_images: Vec<Option<Compressed>> = blocks.iter().map(|b| fpc.compress(b)).collect();
+    let engine_images: Vec<_> = blocks.iter().map(|b| engine.compress(b)).collect();
+
+    let kernels: Vec<(&str, f64)> = vec![
+        (
+            "bdi_compress",
+            kernel_rate(n, || {
+                for blk in &blocks {
+                    black_box(bdi.compress(black_box(blk)));
+                }
+            }),
+        ),
+        (
+            "bdi_decompress",
+            kernel_rate(n, || {
+                for img in bdi_images.iter().flatten() {
+                    black_box(bdi.decompress(black_box(img)));
+                }
+            }),
+        ),
+        (
+            "fpc_compress",
+            kernel_rate(n, || {
+                for blk in &blocks {
+                    black_box(fpc.compress(black_box(blk)));
+                }
+            }),
+        ),
+        (
+            "fpc_decompress",
+            kernel_rate(n, || {
+                for img in fpc_images.iter().flatten() {
+                    black_box(fpc.decompress(black_box(img)));
+                }
+            }),
+        ),
+        (
+            "engine_compress",
+            kernel_rate(n, || {
+                for blk in &blocks {
+                    black_box(engine.compress(black_box(blk)));
+                }
+            }),
+        ),
+        (
+            "engine_decompress",
+            kernel_rate(n, || {
+                for img in &engine_images {
+                    black_box(engine.decompress(black_box(img)));
+                }
+            }),
+        ),
+    ];
+    for (name, rate) in &kernels {
+        println!("{name:<24} {rate:>12.1}");
+    }
+
+    println!(
+        "\nend-to-end (Attache strategy): {} instr + {} warm-up per core, seed {}",
+        ec.instructions, ec.warmup, ec.seed
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "workload", "bus-cycles", "secs", "Mcyc/s"
+    );
+    let cfg = ec.sim_config().with_strategy(MetadataStrategyKind::Attache);
+    let mut runs: Vec<(&str, u64, f64, f64)> = Vec::new();
+    for name in WORKLOADS {
+        let profile = Profile::by_name(name).expect("known profile");
+        let mut secs = f64::INFINITY;
+        let mut cycles = 0;
+        for _ in 0..repeats() {
+            let t = Instant::now();
+            let report = System::run_rate_mode(&cfg, profile.clone(), ec.seed);
+            secs = secs.min(t.elapsed().as_secs_f64());
+            cycles = report.bus_cycles;
+        }
+        let rate = cycles as f64 / secs / 1e6;
+        println!("{name:<10} {cycles:>12} {secs:>10.3} {rate:>12.2}");
+        runs.push((name, cycles, secs, rate));
+    }
+
+    let date = today_utc();
+    let mut kernel_rows = String::new();
+    for (name, rate) in &kernels {
+        if !kernel_rows.is_empty() {
+            kernel_rows.push_str(",\n");
+        }
+        let _ = write!(kernel_rows, "    {{\"kernel\": \"{name}\", \"mb_per_sec\": {rate:.1}}}");
+    }
+    let mut run_rows = String::new();
+    for (name, cycles, secs, rate) in &runs {
+        if !run_rows.is_empty() {
+            run_rows.push_str(",\n");
+        }
+        let _ = write!(
+            run_rows,
+            concat!(
+                "    {{\"workload\": \"{}\", \"bus_cycles\": {}, ",
+                "\"secs\": {:.6}, \"mcycles_per_sec\": {:.3}}}"
+            ),
+            name, cycles, secs, rate,
+        );
+    }
+    let json = format!(
+        "{{\n  \"date\": \"{date}\",\n  \"instructions\": {},\n  \"warmup\": {},\n  \
+         \"seed\": {},\n  \"kernels\": [\n{kernel_rows}\n  ],\n  \"workloads\": [\n{run_rows}\n  ]\n}}\n",
+        ec.instructions, ec.warmup, ec.seed,
+    );
+    let dir = ec.results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_compress.json");
+    std::fs::write(&path, json).expect("write BENCH_compress.json");
+
+    // Trajectory: one dated TSV line per bench run, appended, so the
+    // compression hot path's history survives each PR's point sample.
+    let traj = dir.join("BENCH_trajectory.tsv");
+    let mut line = String::new();
+    if !traj.exists() {
+        line.push_str("date\tinstr");
+        for (name, _) in &kernels {
+            let _ = write!(line, "\t{name}_MBps");
+        }
+        for w in WORKLOADS {
+            let _ = write!(line, "\t{w}_Mcyc_s");
+        }
+        line.push('\n');
+    }
+    let _ = write!(line, "{date}\t{}", ec.instructions);
+    for (_, rate) in &kernels {
+        let _ = write!(line, "\t{rate:.1}");
+    }
+    for (_, _, _, rate) in &runs {
+        let _ = write!(line, "\t{rate:.2}");
+    }
+    line.push('\n');
+    let prev = std::fs::read_to_string(&traj).unwrap_or_default();
+    std::fs::write(&traj, prev + &line).expect("append BENCH_trajectory.tsv");
+    println!("\n-> {} (+ trajectory {})", path.display(), traj.display());
+}

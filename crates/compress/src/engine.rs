@@ -3,10 +3,27 @@
 //! Mirrors the engine in the Attaché paper's memory controller (§V): every
 //! block is compressed with **both** BDI and FPC and the smaller image wins.
 //! One extra CID bit selects the algorithm on decompression (Table I).
+//!
+//! The software implementation does *not* materialize both images: each
+//! algorithm's one-pass analysis yields its exact compressed size first
+//! ([`bdi::BdiAnalysis`](crate::bdi) / `FpcAnalysis`), the BDI-vs-FPC
+//! tie-break is decided on those sizes, and only the winner's token stream
+//! is emitted. Because the analysis sizes equal the materialized sizes
+//! bit-for-bit (pinned by the kernels' own accounting tests and the
+//! `engine_vs_reference` regression suite), the outcome is identical to
+//! running both algorithms exhaustively — just cheaper. As a further
+//! early-exit, a BDI result at or below [`FPC_MIN_BYTES`] skips the FPC
+//! analysis entirely: no FPC stream is shorter than two bytes.
 
-use crate::bdi::Bdi;
-use crate::fpc::Fpc;
+use crate::bdi::{Bdi, BdiAnalysis};
+use crate::fpc::{Fpc, FpcAnalysis};
 use crate::{Algorithm, Block, Compressed, Compressor, BLOCK_SIZE, SUBRANK_TARGET_BYTES};
+
+/// The smallest image FPC can produce for any block: an all-zero line is
+/// two zero-run tokens (12 bits, 2 bytes), and any non-zero word only adds
+/// bits. When BDI already proved a size at or below this, FPC provably
+/// cannot win the `bdi <= fpc` tie-break, so its analysis is skipped.
+const FPC_MIN_BYTES: usize = 2;
 
 /// The result of running a block through the [`CompressionEngine`].
 ///
@@ -73,19 +90,30 @@ impl CompressionEngine {
         Self::default()
     }
 
-    /// Compresses `block` with both algorithms and keeps the best result.
+    /// Compresses `block`, keeping the best of BDI and FPC. The tie-break
+    /// is exactly the paper's: at equal sizes BDI wins.
     pub fn compress(&self, block: &Block) -> CompressionOutcome {
-        let bdi = self.bdi.compress(block);
-        let fpc = self.fpc.compress(block);
-        let best = match (bdi, fpc) {
-            (Some(a), Some(b)) => Some(if a.size() <= b.size() { a } else { b }),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        };
-        match best {
-            Some(c) => CompressionOutcome::Compressed(c),
-            None => CompressionOutcome::Uncompressed(*block),
+        let bdi = BdiAnalysis::new(block);
+        let bdi_enc = bdi.best();
+        if let Some(enc) = bdi_enc {
+            if enc.compressed_size() <= FPC_MIN_BYTES {
+                return CompressionOutcome::Compressed(bdi.emit(enc));
+            }
+        }
+        let fpc = FpcAnalysis::new(block);
+        match (bdi_enc, fpc.compressible()) {
+            (Some(enc), true) => {
+                if enc.compressed_size() <= fpc.byte_len() {
+                    CompressionOutcome::Compressed(bdi.emit(enc))
+                } else {
+                    CompressionOutcome::Compressed(fpc.emit().expect("analysis said compressible"))
+                }
+            }
+            (Some(enc), false) => CompressionOutcome::Compressed(bdi.emit(enc)),
+            (None, true) => {
+                CompressionOutcome::Compressed(fpc.emit().expect("analysis said compressible"))
+            }
+            (None, false) => CompressionOutcome::Uncompressed(*block),
         }
     }
 
@@ -115,13 +143,38 @@ impl CompressionEngine {
     }
 
     /// The size in bytes `block` occupies after best-of compression.
+    /// Analysis-only: neither algorithm's image is materialized.
     pub fn compressed_size(&self, block: &Block) -> usize {
-        self.compress(block).compressed_size()
+        let bdi_size = BdiAnalysis::new(block).best().map(|e| e.compressed_size());
+        if let Some(s) = bdi_size {
+            if s <= FPC_MIN_BYTES {
+                return s;
+            }
+        }
+        let fpc = FpcAnalysis::new(block);
+        let fpc_size = fpc.compressible().then(|| fpc.byte_len());
+        match (bdi_size, fpc_size) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => BLOCK_SIZE,
+        }
     }
 
     /// Whether `block` compresses to the paper's 30-byte sub-rank target.
+    /// Analysis-only, like [`compressed_size`](Self::compressed_size), but
+    /// with a stronger early exit: the predicate is
+    /// `min(bdi, fpc) <= target`, which is already decided `true` the
+    /// moment BDI alone meets the target — FPC's whole analysis pass is
+    /// skipped without changing the answer.
     pub fn fits_subrank(&self, block: &Block) -> bool {
-        self.compress(block).fits_subrank()
+        if let Some(enc) = BdiAnalysis::new(block).best() {
+            if enc.compressed_size() <= SUBRANK_TARGET_BYTES {
+                return true;
+            }
+        }
+        let fpc = FpcAnalysis::new(block);
+        fpc.compressible() && fpc.byte_len() <= SUBRANK_TARGET_BYTES
     }
 }
 
@@ -193,5 +246,50 @@ mod tests {
         let c31 = CompressionOutcome::Compressed(Compressed::from_parts(Algorithm::Fpc, &[0; 31]));
         assert!(c30.fits_subrank());
         assert!(!c31.fits_subrank());
+    }
+
+    #[test]
+    fn analysis_only_size_matches_materialized_outcome() {
+        let engine = CompressionEngine::new();
+        // A grab-bag of shapes: zero, repeated, BDI-friendly, FPC-friendly,
+        // mixed, and high-entropy.
+        let mut blocks: Vec<Block> = vec![[0u8; BLOCK_SIZE]];
+        let mut b = [0u8; BLOCK_SIZE];
+        for chunk in b.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        }
+        blocks.push(b);
+        let mut b = [0u8; BLOCK_SIZE];
+        for (i, chunk) in b.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(0x7000_0000u64 + i as u64 * 5).to_le_bytes());
+        }
+        blocks.push(b);
+        let mut b = [0u8; BLOCK_SIZE];
+        for (i, chunk) in b.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&((i % 3) as u32).to_le_bytes());
+        }
+        blocks.push(b);
+        let mut state = 0x5DEECE66Du64;
+        let mut b = [0u8; BLOCK_SIZE];
+        for byte in b.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            *byte = (state >> 48) as u8;
+        }
+        blocks.push(b);
+        for block in &blocks {
+            let outcome = engine.compress(block);
+            assert_eq!(engine.compressed_size(block), outcome.compressed_size());
+            assert_eq!(engine.fits_subrank(block), outcome.fits_subrank());
+        }
+    }
+
+    #[test]
+    fn fpc_min_bytes_is_a_true_lower_bound() {
+        // The early-exit constant: no FPC stream is shorter than 2 bytes.
+        // The shortest possible stream is the all-zero line (12 bits).
+        assert_eq!(
+            Fpc::new().compress(&[0u8; BLOCK_SIZE]).unwrap().size(),
+            FPC_MIN_BYTES
+        );
     }
 }

@@ -18,6 +18,7 @@
 //! 0.003%-0.006% of uncompressed traffic.
 
 use attache_compress::{Block, Compressed, CompressionEngine, CompressionOutcome, BLOCK_SIZE};
+use crate::memo::MemoizedEngine;
 
 use crate::header::{CidConfig, CidValue, HeaderMatch};
 use crate::replacement_area::{ReplacementArea, ReplacementAreaStats};
@@ -113,7 +114,7 @@ pub struct BlemStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Blem {
-    engine: CompressionEngine,
+    engine: MemoizedEngine,
     scrambler: Scrambler,
     cid: CidValue,
     ra: ReplacementArea,
@@ -148,7 +149,7 @@ impl Blem {
             "dual-algorithm BLEM needs at least one info bit (cid_bits <= 14)"
         );
         Self {
-            engine: CompressionEngine::new(),
+            engine: MemoizedEngine::new(),
             scrambler: Scrambler::new(seed ^ 0xA5A5_5A5A_F0F0_0F0F),
             cid: CidValue::from_seed(seed, config),
             ra: ReplacementArea::new(),
@@ -243,7 +244,13 @@ impl Blem {
     /// The compression engine (shared with the requester for Fig. 4 style
     /// analyses).
     pub fn engine(&self) -> &CompressionEngine {
-        &self.engine
+        self.engine.inner()
+    }
+
+    /// Whether `data` compresses to the sub-rank target, answered through
+    /// the content-keyed memo — the hot half of [`probe_line`].
+    pub fn fits_subrank(&self, data: &Block) -> bool {
+        self.engine.fits_subrank(data)
     }
 
     /// Running counters.
@@ -331,7 +338,7 @@ impl Blem {
     /// used by the simulator for lines that were never written back, whose
     /// stored image is a deterministic function of the pristine contents.
     pub fn probe_line(&self, line_addr: u64, data: &Block) -> (bool, bool) {
-        if self.engine.compress(data).fits_subrank() {
+        if self.engine.fits_subrank(data) {
             return (true, false);
         }
         let pad = self.scrambler.pad(line_addr);

@@ -71,6 +71,19 @@ impl Hasher for FastHasher {
     }
 }
 
+/// Hashes a 64-byte block word-at-a-time — eight `write_u64` mixes instead
+/// of 64 byte mixes. This is the content key for the compressed-image memo
+/// ([`crate::memo::MemoizedEngine`]); collisions are harmless there because
+/// every hit is verified against the full block bytes.
+#[inline]
+pub fn hash_block(block: &[u8; 64]) -> u64 {
+    let mut h = FastHasher::default();
+    for chunk in block.chunks_exact(8) {
+        h.write_u64(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+    }
+    h.finish()
+}
+
 /// A `HashMap` using [`FastHasher`]. Drop-in for the default map: same
 /// API, deterministic and ~10x cheaper per lookup on integer keys.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;

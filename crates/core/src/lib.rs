@@ -44,11 +44,13 @@ pub mod blem;
 pub mod copr;
 pub mod fasthash;
 pub mod header;
+pub mod memo;
 pub mod replacement_area;
 pub mod scramble;
 
 pub use blem::{Blem, BlemStats, ReadInfo, StoredImage, WriteOutcome};
 pub use copr::{Copr, CoprConfig, CoprSource, CoprStats};
+pub use memo::{MemoStats, MemoizedEngine};
 pub use header::{CidConfig, CidValue, HeaderMatch};
 pub use replacement_area::{ReplacementArea, ReplacementAreaStats};
 pub use scramble::Scrambler;

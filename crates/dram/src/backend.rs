@@ -180,6 +180,16 @@ pub trait MemoryBackend: Send + std::fmt::Debug {
     /// writes are posted and may coalesce.
     fn drain_completions(&mut self) -> Vec<Completion>;
 
+    /// Appends this tick's completions to `out` instead of returning a
+    /// fresh vector — same contents and order as
+    /// [`drain_completions`](Self::drain_completions). The engines call
+    /// this every executed tick with a reused scratch buffer; backends
+    /// should override the default when they can drain without
+    /// allocating.
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.drain_completions());
+    }
+
     /// The earliest future cycle at which the backend could do real work:
     /// retire a completion, legally issue a command, flip a drain mode,
     /// refresh, or change any state an enqueue outcome depends on
@@ -323,6 +333,10 @@ impl MemoryBackend for crate::MemorySystem {
 
     fn drain_completions(&mut self) -> Vec<Completion> {
         crate::MemorySystem::drain_completions(self)
+    }
+
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        crate::MemorySystem::drain_completions_into(self, out)
     }
 
     fn next_event(&self) -> u64 {

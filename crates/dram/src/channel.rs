@@ -13,6 +13,7 @@ use crate::power::{PowerModel, PowerParams};
 use crate::rank::Rank;
 use crate::request::{AccessKind, Completion, MemRequest};
 
+
 /// Aggregated per-channel statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChannelStats {
@@ -127,10 +128,103 @@ impl ChannelStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Cached result of one candidate's sub-bank walk, valid while the
+/// epochs it was computed under still match (see
+/// [`Channel::bank_epoch`]). All values are *bank-local*: rank-level
+/// timers (refresh gate, data-bus, tFAW window) move on commands to
+/// *other* banks too, so they are cheap fresh loads at use time rather
+/// than cached state.
+///
+/// The flags of the three scheduler passes are encoded in the masks:
+/// `act_mask | conflict_mask == 0` ⟺ every masked sub-bank has the row
+/// open (CAS pass), `conflict_mask != 0` ⟺ ACT is blocked behind a PRE.
+#[derive(Debug, Clone, Copy, Default)]
+struct CandCache {
+    /// Max of the masked open sub-banks' column-ready times.
+    cas_bank: u64,
+    /// Max of `act_mask` sub-banks' tRC/tRP activate-ready times.
+    act_bank: u64,
+    /// Max of `conflict_mask` sub-banks' tRAS/tRTP/tWR precharge-ready
+    /// times.
+    pre_bank: u64,
+    /// `bank_epoch` value this cache was computed under. Epochs wrap
+    /// at `u32::MAX`; a false match would need exactly `2^32` commands
+    /// to one bank while this candidate sits queued, far beyond any
+    /// queue residence time.
+    bank_epoch: u32,
+    /// `rank_epoch` (refresh) value this cache was computed under.
+    rank_epoch: u32,
+    /// Identity snapshot of `loc.flat_bank(..)` — immutable per request.
+    flat_bank: u16,
+    /// Identity snapshot of `loc.rank` — immutable per request.
+    rank: u8,
+    /// Sub-bank mask of the request's width. A real mask is never zero,
+    /// so `mask == 0` doubles as the "never computed" sentinel (the
+    /// default), invalidated again on write coalescing.
+    mask: u8,
+    /// Masked sub-banks that are idle and need an ACT.
+    act_mask: u8,
+    /// Masked sub-banks holding a *different* open row (need a PRE).
+    conflict_mask: u8,
+}
+
+impl CandCache {
+    /// Walks the masked sub-banks of `p`'s bank once and snapshots
+    /// everything bank-local the three scheduler passes need. `writes`
+    /// is fixed per candidate (each `Pending` lives in exactly one
+    /// queue), so caching the direction-specific column timer is sound.
+    fn compute(
+        rank: &Rank,
+        rank_idx: usize,
+        bank: usize,
+        p: &Pending,
+        writes: bool,
+        subranks: usize,
+        epochs: (u32, u32),
+    ) -> Self {
+        let mask = p.req.width.mask();
+        let mut c = CandCache {
+            bank_epoch: epochs.0,
+            rank_epoch: epochs.1,
+            flat_bank: bank as u16,
+            rank: rank_idx as u8,
+            mask,
+            ..Self::default()
+        };
+        for s in (0..subranks).filter(|s| mask & (1 << *s) != 0) {
+            let sb = rank.sub_bank(bank, s);
+            if sb.row_open(p.loc.row) {
+                c.cas_bank = c.cas_bank.max(if writes {
+                    sb.write_ready_at()
+                } else {
+                    sb.read_ready_at()
+                });
+            } else if matches!(sb.state(), crate::bank::RowState::Active { .. }) {
+                // A different row is open: ACT is blocked until a PRE
+                // closes it.
+                c.conflict_mask |= 1 << s;
+                c.pre_bank = c.pre_bank.max(sb.precharge_ready_at());
+            } else {
+                c.act_mask |= 1 << s;
+                c.act_bank = c.act_bank.max(sb.activate_ready_at());
+            }
+        }
+        c
+    }
+}
+
+/// A queued request. `repr(C)` pins the scan cache to the front: the
+/// scheduler's fast path reads only the cache (one line into each
+/// element of the queue's stride), touching `loc`/`req` just on
+/// recompute, issue, and the rarer PRE/starvation paths.
+#[derive(Debug, Clone)]
+#[repr(C)]
 struct Pending {
-    req: MemRequest,
+    /// Epoch-validated scan cache; interior mutability lets the
+    /// scheduler refresh it through the shared queue borrow.
+    cache: std::cell::Cell<CandCache>,
     loc: Location,
+    req: MemRequest,
     needed_act: bool,
 }
 
@@ -194,6 +288,43 @@ pub struct Channel {
     /// capacity (`None` = full capacity). Timing-only: models a derated
     /// controller front-end that back-pressures reads.
     read_derate: Option<usize>,
+    /// Exact minimum of `req.arrival` over `read_q` (`u64::MAX` when
+    /// empty), maintained on every push and CAS removal. The scheduler
+    /// consults the oldest read's age on every pass (anti-starvation);
+    /// this cache answers the common "nobody is starving" case without
+    /// the O(queue) age scan.
+    read_min_arrival: u64,
+    /// Per-(rank, flat-bank) command epoch, bumped on every CAS, ACT,
+    /// and PRE that touches the bank. A candidate's [`CandCache`] is
+    /// valid while both its bank epoch and rank epoch still match:
+    /// between commands to its bank the sub-bank rows and bank-local
+    /// timers are frozen, so most failed scheduler passes revalidate
+    /// each candidate with two integer compares instead of re-walking
+    /// its sub-banks. Indexed `rank * cfg.banks() + flat_bank`.
+    bank_epoch: Vec<u32>,
+    /// Per-rank refresh epoch, bumped on every REF (and bulk refresh):
+    /// a refresh closes all the rank's banks and moves its gate, so it
+    /// invalidates every candidate of the rank at once.
+    rank_epoch: Vec<u32>,
+    /// Scratch for the PRE walk's row-protection table: per
+    /// (rank, flat-bank, sub-rank) slot, the minimum arrival over
+    /// served-queue requests wanting that sub-bank's *open* row
+    /// (`u64::MAX` = none). Built once per PRE walk, making each
+    /// protection check O(1) instead of an O(queue) scan.
+    protect_min: Vec<u64>,
+    /// Per-walk scratch, indexed `(rank << subranks) | mask`: the
+    /// refresh-gate-folded max of the rank's data-bus ready times over
+    /// the sub-ranks in `mask` (so entry `mask = 0` is the bare gate).
+    /// Rank-level timers are frozen for the duration of one scheduler
+    /// pass, so filling this once per walk (subset DP: one `max` per
+    /// entry) turns every candidate's rank-level term into a single
+    /// table lookup instead of a gate load plus a masked sub-rank loop.
+    walk_cas: Vec<u64>,
+    /// Same layout as [`walk_cas`](Channel::walk_cas) for the ACT path:
+    /// gate-folded max of the tRRD/tFAW window terms over `mask`.
+    walk_act: Vec<u64>,
+    /// Per-rank `refresh_due(now)` for the current walk.
+    walk_due: Vec<bool>,
 }
 
 impl Channel {
@@ -218,7 +349,22 @@ impl Channel {
             auditor: conformance_enabled().then(|| Box::new(ConformanceChecker::new(&cfg))),
             trace: None,
             read_derate: None,
+            read_min_arrival: u64::MAX,
+            bank_epoch: vec![0; cfg.ranks * cfg.banks()],
+            rank_epoch: vec![0; cfg.ranks],
+            protect_min: vec![u64::MAX; cfg.ranks * cfg.banks() * cfg.subranks],
+            walk_cas: vec![0; cfg.ranks << cfg.subranks],
+            walk_act: vec![0; cfg.ranks << cfg.subranks],
+            walk_due: vec![false; cfg.ranks],
         }
+    }
+
+    /// Marks `bank` of `rank` as touched by a command: candidate caches
+    /// computed under the old epoch re-walk their sub-banks next pass.
+    #[inline]
+    fn bump_bank(&mut self, rank: usize, bank: usize) {
+        let e = &mut self.bank_epoch[rank * self.cfg.banks() + bank];
+        *e = e.wrapping_add(1);
     }
 
     /// Fault-injection hook: caps (or restores) the read queue's
@@ -345,10 +491,12 @@ impl Channel {
                 if !self.can_accept_read() {
                     return Err(QueueFull);
                 }
+                self.read_min_arrival = self.read_min_arrival.min(req.arrival);
                 self.read_q.push(Pending {
                     req,
                     loc,
                     needed_act: false,
+                    cache: Default::default(),
                 });
             }
             AccessKind::Write => {
@@ -358,6 +506,9 @@ impl Channel {
                     .find(|p| p.req.line_addr == req.line_addr)
                 {
                     p.req = req; // coalesce: latest write wins
+                    // The coalesced request may change width, and with
+                    // it the sub-bank mask the cache was computed for.
+                    p.cache.set(CandCache::default());
                     return Ok(());
                 }
                 if !self.can_accept_write() {
@@ -367,6 +518,7 @@ impl Channel {
                     req,
                     loc,
                     needed_act: false,
+                    cache: Default::default(),
                 });
             }
         }
@@ -376,6 +528,14 @@ impl Channel {
     /// Drains completions accumulated since the last call.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Appends the drained completions to `out` instead of handing over
+    /// the buffer: both the channel's accumulator and the caller's
+    /// scratch keep their capacity, so the per-tick drain allocates
+    /// nothing in steady state.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completed);
     }
 
     /// Whether no work is pending or in flight.
@@ -416,6 +576,21 @@ impl Channel {
     /// enqueue outcomes (retires are tracked separately via
     /// [`next_retire`](Channel::next_retire)).
     pub fn tick(&mut self) -> bool {
+        self.tick_inner::<false>().0
+    }
+
+    /// Event-engine variant of [`tick`](Channel::tick): identical state
+    /// mutations, but when the cycle changes nothing, the second element is
+    /// the exact [`next_sched_event`](Channel::next_sched_event) bound —
+    /// computed as a side effect of the failed scheduler pass instead of a
+    /// second full queue scan. When the first element is `true` the bound
+    /// is invalid (the scheduler acted, so state just changed) and `0` is
+    /// returned in its place.
+    pub fn tick_with_bound(&mut self) -> (bool, u64) {
+        self.tick_inner::<true>()
+    }
+
+    fn tick_inner<const WANT_BOUND: bool>(&mut self) -> (bool, u64) {
         self.now += 1;
         let now = self.now;
 
@@ -438,10 +613,42 @@ impl Channel {
 
         // Refresh management consumes the command bus when it acts.
         if self.manage_refresh(now) {
-            return true;
+            return (true, 0);
         }
 
-        self.issue(now)
+        let was = self.sticky_drain;
+        let writes = self.drain_writes();
+        if writes {
+            self.stats.drain_cycles += 1;
+        }
+        if self.sticky_drain && !was {
+            self.stats.drain_episodes += 1;
+        }
+        let (issued, cand_bound) = if writes || !self.read_q.is_empty() {
+            self.issue_from::<WANT_BOUND>(now, writes)
+        } else {
+            (false, u64::MAX)
+        };
+        if issued || self.sticky_drain != was {
+            return (true, 0);
+        }
+        if !WANT_BOUND {
+            return (false, 0);
+        }
+        // Assemble the full scheduling bound exactly as `next_sched_event`
+        // would compute it post-tick: the candidate terms came from the
+        // failed pass above; refresh horizons are merged here. The
+        // drain-flip term is vacuous (drain_writes just ran without
+        // flipping and queue lengths are frozen until the next event).
+        let soon = now + 1;
+        let mut horizon = u64::MAX;
+        for rank in &self.ranks {
+            if rank.refresh_due(now) {
+                return (false, soon);
+            }
+            horizon = horizon.min(rank.next_refresh_due);
+        }
+        (false, horizon.min(cand_bound))
     }
 
     /// Advances one bus cycle executing only burst retirement (plus the
@@ -493,6 +700,7 @@ impl Channel {
             if target >= due {
                 let n = (target - due) / t.t_refi + 1;
                 self.ranks[r].bulk_refresh(n, &t);
+                self.rank_epoch[r] = self.rank_epoch[r].wrapping_add(1);
                 for _ in 0..n {
                     self.power.on_refresh();
                 }
@@ -583,18 +791,11 @@ impl Channel {
         // crosses STARVATION_AGE it is served exclusively, so the crossing
         // itself is an event, and past it only that read's gates matter.
         let mut starving = None;
-        if !writes {
-            if let Some((i, p)) = self
-                .read_q
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.req.arrival)
-            {
-                if now.saturating_sub(p.req.arrival) > STARVATION_AGE {
-                    starving = Some(i);
-                } else {
-                    horizon = horizon.min(p.req.arrival + STARVATION_AGE + 1);
-                }
+        if !writes && !self.read_q.is_empty() {
+            if now.saturating_sub(self.read_min_arrival) > STARVATION_AGE {
+                starving = self.starving_read(now);
+            } else {
+                horizon = horizon.min(self.read_min_arrival + STARVATION_AGE + 1);
             }
         }
         let candidates = match starving {
@@ -802,6 +1003,7 @@ impl Channel {
                 if self.ranks[r].any_bank_open() {
                     if let Some((bank, mask)) = self.ranks[r].refresh_precharge_candidate(now) {
                         self.ranks[r].precharge(now, bank, mask, &t);
+                        self.bump_bank(r, bank);
                         self.audit(now, r, DramCommand::Precharge { bank, mask });
                         self.stats.precharges += 1;
                         return true;
@@ -810,6 +1012,7 @@ impl Channel {
                     return false;
                 }
                 self.ranks[r].refresh(now, &t);
+                self.rank_epoch[r] = self.rank_epoch[r].wrapping_add(1);
                 self.audit(now, r, DramCommand::Refresh);
                 self.power.on_refresh();
                 self.stats.refreshes += 1;
@@ -832,25 +1035,22 @@ impl Channel {
         self.sticky_drain || (self.read_q.is_empty() && !self.write_q.is_empty())
     }
 
-    fn issue(&mut self, now: u64) -> bool {
-        let was = self.sticky_drain;
-        let writes = self.drain_writes();
-        if writes {
-            self.stats.drain_cycles += 1;
+    /// The index the anti-starvation rule serves exclusively, if any: the
+    /// oldest read (ties broken exactly as `min_by_key`, i.e. the last
+    /// minimal element) once its age exceeds [`STARVATION_AGE`]. The cached
+    /// [`read_min_arrival`](Channel::read_min_arrival) answers the common
+    /// "nobody is old enough" case in O(1); the index scan runs only once
+    /// the age threshold has actually been crossed.
+    fn starving_read(&self, now: u64) -> Option<usize> {
+        if now.saturating_sub(self.read_min_arrival) <= STARVATION_AGE {
+            return None;
         }
-        if self.sticky_drain && !was {
-            self.stats.drain_episodes += 1;
-        }
-        let issued = if writes {
-            self.issue_from(now, true)
-        } else if !self.read_q.is_empty() {
-            self.issue_from(now, false)
-        } else {
-            false
-        };
-        issued || self.sticky_drain != was
+        self.read_q
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.req.arrival)
+            .map(|(i, _)| i)
     }
-
 
     /// Filters a precharge mask down to sub-banks whose open row has no
     /// *older* queued requests left. Open rows with pending work are kept
@@ -891,58 +1091,167 @@ impl Channel {
         out
     }
 
-    fn issue_from(&mut self, now: u64, writes: bool) -> bool {
+    /// One fused FR-FCFS scheduler pass: a CAS for the first column-ready
+    /// candidate, else an ACT for the first activatable one, else a PRE for
+    /// the first unprotected row conflict — the same priority order and the
+    /// same queue order as the three separate scans this replaces, checked
+    /// against the exact `can_read`/`can_write`/`can_activate`/
+    /// `precharge_mask` legality conditions via their `*_ready_at` duals
+    /// (`can_x(now) ⟺ x_ready_at() <= now` under each pass's structural
+    /// preconditions).
+    ///
+    /// With `WANT_BOUND`, the same walk also accumulates the per-candidate
+    /// scheduling bound with [`candidate_ready_at`](Channel::candidate_ready_at)
+    /// semantics plus the anti-starvation crossing term, so a failed
+    /// event-engine tick produces its next bound as a side effect instead
+    /// of paying `next_sched_event`'s second full scan. The returned bound
+    /// is meaningful only when nothing issued (the first element is
+    /// `false`); after an issue the caller discards it.
+    fn issue_from<const WANT_BOUND: bool>(&mut self, now: u64, writes: bool) -> (bool, u64) {
         let t = self.cfg.timing;
+        let soon = now + 1;
 
         // Anti-starvation: when the oldest *read* is too old, serve it
         // exclusively. Writes are posted — nobody waits on them — so they
         // are always drained row-hit-first.
-        let starving: Option<usize> = if writes {
-            None
-        } else {
-            self.read_q
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.req.arrival)
-                .filter(|(_, p)| now.saturating_sub(p.req.arrival) > STARVATION_AGE)
-                .map(|(i, _)| i)
-        };
+        let starving: Option<usize> = if writes { None } else { self.starving_read(now) };
 
-        // Pass 1: CAS for any ready request (row hit first by construction —
-        // a ready CAS implies the row is open).
-        let cas_idx = {
+        let mut bound = u64::MAX;
+        if WANT_BOUND && !writes && starving.is_none() && !self.read_q.is_empty() {
+            // The oldest read crossing STARVATION_AGE is itself an event.
+            bound = self.read_min_arrival + STARVATION_AGE + 1;
+        }
+
+        // Hoist the rank-level walk terms: refresh gate/due, data-bus
+        // timers, and the tRRD/tFAW window only move on commands and
+        // refreshes, never mid-walk, so they are computed once per pass
+        // into the subset-max tables instead of once per candidate. The
+        // DP fills entry `m` from `m` with its lowest bit cleared, one
+        // `max` per entry; entry 0 carries the bare refresh gate, which
+        // every non-empty mask inherits.
+        let subranks = self.cfg.subranks;
+        for r in 0..self.ranks.len() {
+            let rank = &self.ranks[r];
+            let base = r << subranks;
+            self.walk_due[r] = rank.refresh_due(now);
+            let gate = rank.refresh_until;
+            self.walk_cas[base] = gate;
+            self.walk_act[base] = gate;
+            for m in 1usize..1 << subranks {
+                let s = m.trailing_zeros() as usize;
+                let rest = base + (m & (m - 1));
+                self.walk_cas[base + m] = self.walk_cas[rest].max(if writes {
+                    rank.bus_write_ready_at(s)
+                } else {
+                    rank.bus_read_ready_at(s)
+                });
+                self.walk_act[base + m] = self.walk_act[rest].max(rank.act_window_ready_at(s, &t));
+            }
+        }
+
+        // Main walk: CAS and ACT legality (and, with WANT_BOUND, their
+        // ready-at bound terms) in one pass. A ready CAS wins outright, so
+        // the walk stops there; an ACT candidate is remembered but the CAS
+        // search continues across the rest of the queue.
+        let (cas_idx, act_idx, saw_conflict) = {
             let q = if writes { &self.write_q } else { &self.read_q };
             let candidates = match starving {
                 Some(i) => i..i + 1,
                 None => 0..q.len(),
             };
-            let mut found = None;
+            let mut cas_idx = None;
+            let mut act_idx = None;
+            let mut saw_conflict = false;
+            let banks = self.cfg.banks();
             for i in candidates {
                 let p = &q[i];
-                let rank = &self.ranks[p.loc.rank];
-                if rank.refresh_due(now) {
-                    continue;
-                }
-                let bank = p.loc.flat_bank(&self.cfg);
-                let mask = p.req.width.mask();
-                let ok = if writes {
-                    rank.can_write(now, bank, p.loc.row, mask)
+                // Epoch-validated candidate cache: the bank-local part
+                // of the walk (row states, bank timers) is frozen
+                // between commands to this bank and refreshes of this
+                // rank, so most candidates revalidate with two compares
+                // against the cache's own identity snapshot — the fast
+                // path never touches `loc`/`req` at all.
+                let mut c = p.cache.get();
+                if c.mask == 0 {
+                    // First look at this candidate since enqueue (or
+                    // since a coalesce invalidated it).
+                    let rank_idx = p.loc.rank;
+                    let bank = p.loc.flat_bank(&self.cfg);
+                    c = CandCache::compute(
+                        &self.ranks[rank_idx],
+                        rank_idx,
+                        bank,
+                        p,
+                        writes,
+                        self.cfg.subranks,
+                        (self.bank_epoch[rank_idx * banks + bank], self.rank_epoch[rank_idx]),
+                    );
+                    p.cache.set(c);
                 } else {
-                    rank.can_read(now, bank, p.loc.row, mask)
-                };
-                if ok {
-                    found = Some(i);
-                    break;
+                    let be = self.bank_epoch[c.rank as usize * banks + c.flat_bank as usize];
+                    let re = self.rank_epoch[c.rank as usize];
+                    if c.bank_epoch != be || c.rank_epoch != re {
+                        c = CandCache::compute(
+                            &self.ranks[c.rank as usize],
+                            c.rank as usize,
+                            c.flat_bank as usize,
+                            p,
+                            writes,
+                            self.cfg.subranks,
+                            (be, re),
+                        );
+                        p.cache.set(c);
+                    }
+                }
+                let base = (c.rank as usize) << subranks;
+                if c.act_mask | c.conflict_mask == 0 {
+                    // All masked sub-banks open: the CAS pass. The
+                    // rank-level gate and data-bus terms come from the
+                    // per-walk subset-max table — one lookup.
+                    let cas = c.cas_bank.max(self.walk_cas[base + c.mask as usize]);
+                    if !self.walk_due[c.rank as usize] && cas <= now {
+                        cas_idx = Some(i);
+                        break;
+                    }
+                    if WANT_BOUND {
+                        bound = bound.min(cas.max(soon));
+                    }
+                } else if c.conflict_mask == 0 {
+                    // Idle sub-banks need an ACT; the gate-folded
+                    // tRRD/tFAW window over exactly the idle sub-ranks is
+                    // the table entry for `act_mask`.
+                    let act = c.act_bank.max(self.walk_act[base + c.act_mask as usize]);
+                    if act_idx.is_none() && !self.walk_due[c.rank as usize] && act <= now {
+                        act_idx = Some(i);
+                    }
+                    if WANT_BOUND {
+                        bound = bound.min(act.max(soon));
+                    }
+                } else {
+                    // A different row is open somewhere: ACT is blocked
+                    // until a PRE closes it (the pre walk below).
+                    saw_conflict = true;
                 }
             }
-            found
+            (cas_idx, act_idx, saw_conflict)
         };
 
         if let Some(i) = cas_idx {
             let p = if writes {
                 self.write_q.remove(i)
             } else {
-                self.read_q.remove(i)
+                let p = self.read_q.remove(i);
+                if p.req.arrival == self.read_min_arrival {
+                    // Served the (an) oldest read: recompute the cached
+                    // minimum for the anti-starvation fast path.
+                    self.read_min_arrival = self
+                        .read_q
+                        .iter()
+                        .map(|p| p.req.arrival)
+                        .min()
+                        .unwrap_or(u64::MAX);
+                }
+                p
             };
             if trace_enabled() && self.index == 0 {
                 eprintln!("{} {} bank={} row={} mask={:02b} id={}",
@@ -963,6 +1272,7 @@ impl Channel {
                 self.power.on_read(chips, bytes);
                 now + t.t_cas + t.t_burst
             };
+            self.bump_bank(p.loc.rank, bank);
             let cmd = if writes {
                 DramCommand::Write { bank, row: p.loc.row, mask }
             } else {
@@ -976,28 +1286,8 @@ impl Channel {
                 self.subrank_cas[s] += 1;
             }
             self.in_flight.push((finish, p.req, !p.needed_act));
-            return true;
+            return (true, 0);
         }
-
-        // Pass 2: ACT for the oldest request that needs one.
-        let act_idx = {
-            let q = if writes { &self.write_q } else { &self.read_q };
-            let candidates = match starving {
-                Some(i) => i..i + 1,
-                None => 0..q.len(),
-            };
-            let mut found = None;
-            for i in candidates {
-                let p = &q[i];
-                let rank = &self.ranks[p.loc.rank];
-                let bank = p.loc.flat_bank(&self.cfg);
-                if rank.can_activate(now, bank, p.loc.row, p.req.width.mask(), &t) {
-                    found = Some(i);
-                    break;
-                }
-            }
-            found
-        };
 
         if let Some(i) = act_idx {
             let (loc, mask) = {
@@ -1014,46 +1304,106 @@ impl Channel {
             let before = rank.open_sub_banks;
             rank.activate(now, bank, loc.row, mask, &t);
             let opened = (rank.open_sub_banks - before) as u32;
+            self.bump_bank(loc.rank, bank);
             self.audit(now, loc.rank, DramCommand::Activate { bank, row: loc.row, mask });
             self.power.on_activate(opened * 4);
             self.stats.activates += 1;
-            return true;
+            return (true, 0);
         }
 
-        // Pass 3: PRE for the oldest request blocked by a row conflict —
-        // but never close a row that still has queued requests (they will
-        // become CAS-ready soon; closing them causes open-row thrash when
-        // half- and full-width streams share a bank).
-        let pre = {
+        // PRE walk: for the oldest request blocked by a row conflict — but
+        // never close a row that still has queued requests (they will become
+        // CAS-ready soon; closing them causes open-row thrash when half- and
+        // full-width streams share a bank). Runs only when the main walk saw
+        // a conflict, because only conflicted candidates can contribute a
+        // PRE or a pre-bound term.
+        let pre = if saw_conflict {
+            // Row-protection table: one pass over the served queue makes
+            // each candidate's protection check O(1). Slot (rank, bank, s)
+            // holds the minimum arrival over requests wanting that
+            // sub-bank's currently *open* row; a conflict sub-bank is
+            // protected from candidate `p` exactly when a wanting request
+            // no younger than `p` exists — i.e. slot min <= p's arrival.
+            // (Starving reads bypass protection and skip the build.)
+            if starving.is_none() {
+                let banks = self.cfg.banks();
+                let subranks = self.cfg.subranks;
+                let protect = &mut self.protect_min;
+                protect.iter_mut().for_each(|m| *m = u64::MAX);
+                let q = if writes { &self.write_q } else { &self.read_q };
+                for p in q {
+                    // The main walk refreshed every entry's cache this
+                    // pass (no starving read, so the full queue was
+                    // scanned) and issued nothing since — the masked
+                    // sub-banks holding this entry's row open are exactly
+                    // those in neither the act nor the conflict set.
+                    let c = p.cache.get();
+                    let open = c.mask & !(c.act_mask | c.conflict_mask);
+                    for s in (0..subranks).filter(|s| open & (1 << *s) != 0) {
+                        let slot = &mut protect
+                            [(c.rank as usize * banks + c.flat_bank as usize) * subranks + s];
+                        *slot = (*slot).min(p.req.arrival);
+                    }
+                }
+            }
             let q = if writes { &self.write_q } else { &self.read_q };
             let candidates = match starving {
                 Some(i) => i..i + 1,
                 None => 0..q.len(),
             };
+            let banks = self.cfg.banks();
+            let subranks = self.cfg.subranks;
             let mut found = None;
             for i in candidates {
                 let p = &q[i];
-                let rank = &self.ranks[p.loc.rank];
-                if rank.refreshing(now) || rank.refresh_due(now) {
+                // The main walk above refreshed every scanned candidate's
+                // cache this pass and issued nothing since, so the cached
+                // conflict set is current.
+                let c = p.cache.get();
+                if c.conflict_mask == 0 {
                     continue;
                 }
-                let bank = p.loc.flat_bank(&self.cfg);
-                if let Some(mask) = rank.precharge_mask(now, bank, p.loc.row, p.req.width.mask())
-                {
-                    // The starving-read override bypasses row protection:
-                    // an over-age read may close any row it conflicts with.
-                    let mask = if starving.is_some() {
-                        mask
-                    } else {
-                        self.unprotected_mask(p.loc.rank, bank, mask, writes, p.req.arrival)
-                    };
-                    if mask != 0 {
-                        found = Some((i, bank, p.loc.rank, mask));
-                        break;
+                let bank = c.flat_bank as usize;
+                // Entry 0 of the walk table is the bare refresh gate; the
+                // table is still fresh here (the PRE walk runs in the
+                // same pass as the fill, with no command issued between).
+                let pre_ready = self.walk_cas[(c.rank as usize) << subranks].max(c.pre_bank);
+                // `pre_ready <= now` implies the rank is not refreshing
+                // (the gate term) and every conflicting sub-bank clears
+                // tRAS/tRTP/tWR — exactly `precharge_mask` returning `Some`.
+                let ready_now = !self.walk_due[c.rank as usize] && pre_ready <= now;
+                if !WANT_BOUND && !ready_now {
+                    continue;
+                }
+                // The starving-read override bypasses row protection: an
+                // over-age read may close any row it conflicts with.
+                let eff = if starving.is_some() {
+                    c.conflict_mask
+                } else {
+                    let mut eff = c.conflict_mask;
+                    for s in (0..subranks).filter(|s| c.conflict_mask & (1 << *s) != 0) {
+                        if self.protect_min[(c.rank as usize * banks + bank) * subranks + s]
+                            <= p.req.arrival
+                        {
+                            eff &= !(1 << s);
+                        }
                     }
+                    eff
+                };
+                if eff == 0 {
+                    continue;
+                }
+                if WANT_BOUND {
+                    bound = bound.min(pre_ready.max(soon));
+                }
+                if ready_now {
+                    found = Some((i, bank, c.rank as usize, eff));
+                    break;
                 }
             }
             found
+        } else {
+            None
         };
 
         if let Some((i, bank, rank_idx, mask)) = pre {
@@ -1066,10 +1416,11 @@ impl Channel {
                 q[i].needed_act = true;
             }
             self.ranks[rank_idx].precharge(now, bank, mask, &t);
+            self.bump_bank(rank_idx, bank);
             self.audit(now, rank_idx, DramCommand::Precharge { bank, mask });
             self.stats.precharges += 1;
-            return true;
+            return (true, 0);
         }
-        false
+        (false, bound)
     }
 }

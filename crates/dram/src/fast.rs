@@ -269,6 +269,11 @@ impl MemoryBackend for FastMemory {
 
     fn drain_completions(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.drain_completions_into(&mut out);
+        out
+    }
+
+    fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
         let mut drained = false;
         for ch in &mut self.channels {
             while let Some(Reverse(head)) = ch.pending.peek() {
@@ -330,7 +335,6 @@ impl MemoryBackend for FastMemory {
         if drained {
             self.mutation_gen += 1;
         }
-        out
     }
 
     fn next_event(&self) -> u64 {

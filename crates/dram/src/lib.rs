@@ -249,11 +249,16 @@ impl MemorySystem {
                 } else {
                     ch.advance_noop(1);
                 }
-            } else if ch.tick() {
-                *bound = 0;
-                self.mutation_gen += 1;
             } else {
-                *bound = ch.next_sched_event();
+                // The fused tick returns the fresh scheduling bound as a
+                // side effect of a failed pass — no second queue scan.
+                let (changed, b) = ch.tick_with_bound();
+                if changed {
+                    *bound = 0;
+                    self.mutation_gen += 1;
+                } else {
+                    *bound = b;
+                }
             }
         }
     }
@@ -266,10 +271,18 @@ impl MemorySystem {
     /// Collects completions from all channels.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
-        for ch in &mut self.channels {
-            out.append(&mut ch.drain_completions());
-        }
+        self.drain_completions_into(&mut out);
         out
+    }
+
+    /// Collects completions from all channels into a caller-provided
+    /// buffer (channel-major order, same as
+    /// [`drain_completions`](Self::drain_completions)); no allocation in
+    /// steady state.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        for ch in &mut self.channels {
+            ch.drain_completions_into(out);
+        }
     }
 
     /// Whether every channel is idle.

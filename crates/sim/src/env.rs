@@ -31,6 +31,7 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ATTACHE_BACKEND",
     "ATTACHE_BENCH_REPEAT",
     "ATTACHE_BLESS",
+    "ATTACHE_COMPRESS_MEMO",
     "ATTACHE_CONFORMANCE",
     "ATTACHE_ENGINE",
     "ATTACHE_ENV_KNOB_TEST",

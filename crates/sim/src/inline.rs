@@ -1,0 +1,106 @@
+//! A tiny inline-first vector for per-transaction bookkeeping.
+//!
+//! Every read transaction carries its list of waiting ROB entries. The
+//! list is almost always one entry (the initiating core) and never more
+//! than a handful even under heavy sharing, yet a `Vec` pays a heap
+//! allocation per transaction — millions per run. [`InlineVec`] keeps the
+//! first `N` elements in the struct itself and spills to a `Vec` only
+//! past that, so the common case never touches the allocator.
+//!
+//! Deliberately minimal: `Copy + Default` elements, push/iterate/len.
+//! That covers the simulator's waiter lists without any `unsafe`.
+
+/// A vector that stores up to `N` elements inline and spills to the heap
+/// beyond that.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    buf: [T; N],
+    len: usize,
+    /// Elements past the first `N`, in push order. Empty (and never
+    /// allocated) until an overflowing push.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        Self {
+            buf: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A one-element vector (no allocation).
+    pub fn of(first: T) -> Self {
+        let mut v = Self::new();
+        v.push(first);
+        v
+    }
+
+    /// Appends `value`, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.buf[self.len] = value;
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        let inline = self.len.min(N);
+        self.buf[..inline].iter().chain(self.spill.iter()).copied()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pushes_stay_on_the_stack() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.spill.capacity(), 0, "no heap allocation inline");
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_spills_and_preserves_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::of(10);
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![10, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn of_builds_a_singleton() {
+        let v: InlineVec<(usize, bool), 4> = InlineVec::of((3, true));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.iter().next(), Some((3, true)));
+    }
+}

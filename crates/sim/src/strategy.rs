@@ -38,11 +38,12 @@
 //!   Figs. 12-13.
 
 use attache_cache::{MetadataCache, MetadataCacheConfig};
-use attache_compress::CompressionEngine;
 use attache_core::blem::{Blem, StoredImage};
 use attache_core::copr::{Copr, CoprConfig};
+use attache_core::memo::MemoizedEngine;
 use attache_dram::{AccessKind, AccessWidth, AddressMapping, Origin, SubrankId};
 use attache_core::fasthash::FastMap;
+use std::cell::RefCell;
 
 use crate::backend::MemoryBackend;
 use crate::config::MetadataStrategyKind;
@@ -103,10 +104,18 @@ pub struct StrategyStats {
 #[derive(Debug)]
 pub struct Strategy {
     kind: MetadataStrategyKind,
-    engine: CompressionEngine,
+    engine: MemoizedEngine,
     mapping: AddressMapping,
     // MetadataCache / Oracle state: the stored layout's compressibility.
     stored_comp: FastMap<u64, bool>,
+    /// Per-line results of probing *pristine* (never-written-back)
+    /// contents: `(compressed, cid_collision)`. The pristine image is a
+    /// deterministic function of boot-time contents, so the probe is
+    /// stable — until a fault injection rewires the scrambler or
+    /// scribbles on state, at which point [`apply_faults`](Self::apply_faults)
+    /// drops the whole cache. `RefCell` because probes happen on `&self`
+    /// read paths.
+    pristine_probe: RefCell<FastMap<u64, (bool, bool)>>,
     meta_cache: Option<MetadataCache>,
     // Attaché state.
     blem: Option<Blem>,
@@ -150,9 +159,10 @@ impl Strategy {
         let copr = (kind == MetadataStrategyKind::Attache).then(|| Copr::new(copr));
         Self {
             kind,
-            engine: CompressionEngine::new(),
+            engine: MemoizedEngine::new(),
             mapping,
             stored_comp: FastMap::default(),
+            pristine_probe: RefCell::new(FastMap::default()),
             meta_cache,
             blem,
             copr,
@@ -214,6 +224,7 @@ impl Strategy {
             blem,
             meta_cache,
             faults,
+            pristine_probe,
             ..
         } = self;
         let inj = faults.as_mut()?;
@@ -222,7 +233,14 @@ impl Strategy {
             blem: blem.as_mut(),
             meta_cache: meta_cache.as_mut(),
         };
-        inj.tick(now, &mut targets)
+        let outcome = inj.tick(now, &mut targets);
+        if outcome.is_some() {
+            // An injection landed: a key swap changes every pristine
+            // line's scrambled image (and so its CID-collision bit), so
+            // every cached probe is now suspect.
+            pristine_probe.get_mut().clear();
+        }
+        outcome
     }
 
     /// The next scheduled injection tick (`u64::MAX` when faults are off
@@ -364,18 +382,38 @@ impl Strategy {
             MetadataStrategyKind::Baseline => false,
             MetadataStrategyKind::Attache => match self.images.get(&line) {
                 Some(img) => img.is_compressed(),
-                None => {
-                    let blem = self.blem.as_ref().expect("attache has blem");
-                    blem.probe_line(line, &backend.pristine_content(line)).0
-                }
+                None => self.probe_pristine(line, backend).0,
             },
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
                 match self.stored_comp.get(&line) {
                     Some(&c) => c,
-                    None => self.engine.fits_subrank(&backend.pristine_content(line)),
+                    None => self.probe_pristine(line, backend).0,
                 }
             }
         }
+    }
+
+    /// Probes `line`'s pristine contents through the per-line cache:
+    /// `(compressed, cid_collision)` for Attaché, `(fits_subrank, false)`
+    /// for the verbatim strategies. Every demand read of a never-written
+    /// line lands here (often twice: plan + resolve), so the cache turns
+    /// the steady-state cost into one map lookup.
+    fn probe_pristine(&self, line: u64, backend: &MemoryBackend) -> (bool, bool) {
+        if let Some(&hit) = self.pristine_probe.borrow().get(&line) {
+            return hit;
+        }
+        let result = match self.kind {
+            MetadataStrategyKind::Attache => {
+                let blem = self.blem.as_ref().expect("attache has blem");
+                blem.probe_line(line, &backend.pristine_content(line))
+            }
+            _ => (
+                self.engine.fits_subrank(&backend.pristine_content(line)),
+                false,
+            ),
+        };
+        self.pristine_probe.borrow_mut().insert(line, result);
+        result
     }
 
     /// Plans a demand read of `line` for `core`.
@@ -463,31 +501,34 @@ impl Strategy {
         }
     }
 
-    /// Called when the demand data read of `line` completes; returns the
+    /// Called when the demand data read of `line` completes; appends the
     /// follow-up requests the transaction must still wait on (corrective
-    /// second-half fetches, Replacement-Area reads).
+    /// second-half fetches, Replacement-Area reads) to `follow`, a
+    /// caller-owned scratch buffer that is cleared first — reusing it
+    /// keeps the per-read fast path allocation-free.
     pub fn on_read_data(
         &mut self,
         line: u64,
         predicted: Option<bool>,
         core: u8,
         backend: &MemoryBackend,
-    ) -> Vec<ReqSpec> {
+        follow: &mut Vec<ReqSpec>,
+    ) {
+        follow.clear();
         self.stats.reads += 1;
         match self.kind {
-            MetadataStrategyKind::Baseline => Vec::new(),
+            MetadataStrategyKind::Baseline => {}
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
                 let comp = self.actual_compressed(line, backend);
                 if comp {
                     self.stats.compressed_reads += 1;
                 }
                 self.mirror_check_classification(line, comp);
-                Vec::new()
             }
             MetadataStrategyKind::Attache => {
                 // Written-back lines go through the full functional BLEM
                 // read (verifying the header flow and servicing the RA);
-                // pristine lines are evaluated with the pure probe.
+                // pristine lines are evaluated with the (cached) pure probe.
                 let (actual, collision, decoded) = match self.images.get(&line) {
                     Some(image) => {
                         let image = image.clone();
@@ -496,8 +537,7 @@ impl Strategy {
                         (info.compressed, info.collision, Some(block))
                     }
                     None => {
-                        let blem = self.blem.as_ref().expect("blem present");
-                        let (c, coll) = blem.probe_line(line, &backend.pristine_content(line));
+                        let (c, coll) = self.probe_pristine(line, backend);
                         (c, coll, None)
                     }
                 };
@@ -512,7 +552,6 @@ impl Strategy {
                 let copr = self.copr.as_mut().expect("copr present");
                 copr.record(line, predicted, actual);
                 copr.train(line, actual);
-                let mut follow = Vec::new();
                 if predicted && !actual {
                     // COPR overpredicted: fetch the other 32B half.
                     follow.push(ReqSpec {
@@ -530,7 +569,6 @@ impl Strategy {
                         origin: Origin::ReplacementArea,
                     });
                 }
-                follow
             }
         }
     }
@@ -576,9 +614,7 @@ impl Strategy {
                 let old = self
                     .stored_comp
                     .insert(line, c)
-                    .unwrap_or_else(|| {
-                        self.engine.fits_subrank(&backend.pristine_content(line))
-                    });
+                    .unwrap_or_else(|| self.probe_pristine(line, backend).0);
                 if c {
                     self.stats.compressed_writes += 1;
                 }
@@ -829,7 +865,8 @@ mod tests {
         let plan = s.plan_read(line, 0, &b);
         assert_eq!(plan.predicted_compressed, Some(true));
         assert!(matches!(plan.data.width, AccessWidth::Half(_)));
-        let follow = s.on_read_data(line, plan.predicted_compressed, 0, &b);
+        let mut follow = Vec::new();
+        s.on_read_data(line, plan.predicted_compressed, 0, &b, &mut follow);
         let corrective: Vec<_> = follow
             .iter()
             .filter(|f| matches!(f.origin, Origin::Corrective { .. }))
@@ -853,7 +890,8 @@ mod tests {
         let plan = s.plan_read(comp_line, 0, &b);
         assert_eq!(plan.predicted_compressed, Some(false));
         assert_eq!(plan.data.width, AccessWidth::Full);
-        let follow = s.on_read_data(comp_line, plan.predicted_compressed, 0, &b);
+        let mut follow = Vec::new();
+        s.on_read_data(comp_line, plan.predicted_compressed, 0, &b, &mut follow);
         assert!(follow.is_empty());
         let stats = s.copr_stats().unwrap();
         assert_eq!(stats.underpredictions, 1);

@@ -12,6 +12,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::backend::MemoryBackend;
 use crate::config::{EngineKind, SimConfig};
 use crate::core_model::{Core, MemState, Slot};
+use crate::inline::InlineVec;
 use crate::observe::{Observation, Observer};
 use crate::stats::RunReport;
 use crate::strategy::{ReqSpec, Strategy};
@@ -66,8 +67,10 @@ struct Txn {
     predicted: Option<bool>,
     state: TxnState,
     /// Cores whose ROB entries wait on this transaction; `true` if the
-    /// entry holds an MSHR slot (the initiator).
-    waiters: Vec<(usize, bool)>,
+    /// entry holds an MSHR slot (the initiator). Inline-first: almost
+    /// every transaction has exactly one waiter, so the common case
+    /// allocates nothing.
+    waiters: InlineVec<(usize, bool), 4>,
 }
 
 /// The simulated system. Construct indirectly through
@@ -90,6 +93,15 @@ pub struct System {
     pending_lines: FastMap<u64, u64>,
     retry_q: VecDeque<MemRequest>,
     delayed: BinaryHeap<Reverse<DelayedReq>>,
+    /// Reused buffer for [`Strategy::on_read_data`] follow-ups, so the
+    /// per-completion fast path allocates nothing. [`ReqSpec`] is `Copy`;
+    /// the buffer is taken, filled, drained, and put back per completion.
+    follow_scratch: Vec<ReqSpec>,
+    /// Reused buffer for each tick's drained completions (same
+    /// take/fill/drain/put-back discipline as `follow_scratch`); with
+    /// [`DramBackend::drain_completions_into`] the per-tick drain
+    /// allocates nothing in steady state.
+    completion_scratch: Vec<attache_dram::Completion>,
     next_txn: u64,
     next_req: u64,
     cpu_accum: u32,
@@ -265,6 +277,8 @@ impl System {
             pending_lines: FastMap::default(),
             retry_q: VecDeque::new(),
             delayed: BinaryHeap::new(),
+            follow_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
             next_txn: 0,
             next_req: 0,
             cpu_accum: 0,
@@ -350,13 +364,15 @@ impl System {
     ///   blocked, never wake it mid-tick.
     fn bus_tick_event(&mut self) {
         self.mem.tick_event();
-        let completions = self.mem.drain_completions();
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        self.mem.drain_completions_into(&mut completions);
         self.observe_completions(&completions);
-        for c in completions {
+        for c in completions.drain(..) {
             // `finish_txn` invalidates the wakes of exactly the cores each
             // completion can unblock.
             self.on_completion(c);
         }
+        self.completion_scratch = completions;
         self.release_delayed();
         if !self.retry_q.is_empty() && self.mem.mutation_gen() != self.flush_gen {
             let before = self.retry_q.len();
@@ -483,9 +499,12 @@ impl System {
             } = core.rob[idx]
             {
                 remaining -= 1;
-                if self.llc.probe_line(line)
-                    || (core.outstanding < core.max_outstanding
-                        && self.retry_q.len() < RETRY_CAP)
+                // Headroom first: it is two integer compares, while the
+                // LLC probe walks a set's tags. Both are pure, so the
+                // short-circuit order is free to prefer the cheap one.
+                if (core.outstanding < core.max_outstanding
+                    && self.retry_q.len() < RETRY_CAP)
+                    || self.llc.probe_line(line)
                 {
                     return soon;
                 }
@@ -539,11 +558,13 @@ impl System {
 
     fn bus_tick(&mut self) {
         self.mem.tick();
-        let completions = self.mem.drain_completions();
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        self.mem.drain_completions_into(&mut completions);
         self.observe_completions(&completions);
-        for c in completions {
+        for c in completions.drain(..) {
             self.on_completion(c);
         }
+        self.completion_scratch = completions;
         self.release_delayed();
         self.flush_retries();
 
@@ -785,7 +806,7 @@ impl System {
                 core,
                 predicted: plan.predicted_compressed,
                 state,
-                waiters: vec![(core, true)],
+                waiters: InlineVec::of((core, true)),
             },
         );
         self.pending_lines.insert(line, txn_id);
@@ -874,9 +895,9 @@ impl System {
             }
             TxnState::WaitData => {
                 let (line, predicted, core) = (txn.line, txn.predicted, txn.core);
-                let follow = self
-                    .strategy
-                    .on_read_data(line, predicted, core as u8, &self.backend);
+                let mut follow = std::mem::take(&mut self.follow_scratch);
+                self.strategy
+                    .on_read_data(line, predicted, core as u8, &self.backend, &mut follow);
                 if follow.is_empty() {
                     self.finish_txn(txn_id);
                 } else {
@@ -884,10 +905,11 @@ impl System {
                     if let Some(t) = self.txns.get_mut(&txn_id) {
                         t.state = TxnState::WaitFollow { remaining: n };
                     }
-                    for f in follow {
+                    for &f in &follow {
                         self.submit_spec(f, 0, Some(txn_id));
                     }
                 }
+                self.follow_scratch = follow;
             }
             TxnState::WaitFollow { ref mut remaining } => {
                 *remaining -= 1;
@@ -906,7 +928,7 @@ impl System {
         if self.pending_lines.get(&txn.line) == Some(&txn_id) {
             self.pending_lines.remove(&txn.line);
         }
-        for (core, counted) in txn.waiters {
+        for (core, counted) in txn.waiters.iter() {
             // Invalidate the event engine's cached wake for exactly the
             // cores this transaction touches: a ready slot or a freed MSHR
             // can unblock them. No other core's gates can open here — the

@@ -2,6 +2,9 @@
 # Simulator benchmark driver: builds the release workspace and runs
 #   * the cycle-vs-event engine comparison  -> results/BENCH_engine.json
 #   * the cycle-vs-fast backend comparison  -> results/BENCH_backend.json
+#   * the compression hot-path benchmark    -> results/BENCH_compress.json
+#     (kernel MB/s + end-to-end Mcyc/s, plus a dated line appended to
+#     results/BENCH_trajectory.tsv so each PR's numbers form a series)
 # over the memory-bound profile grid, writing wall times and speedups.
 #
 # Knobs (all optional, same semantics as the experiment harness):
@@ -19,3 +22,4 @@ export ATTACHE_BENCH_REPEAT="${ATTACHE_BENCH_REPEAT:-3}"
 cargo build --release -p attache-bench
 ./target/release/bench_engine
 ./target/release/bench_backend
+./target/release/bench_compress

@@ -104,6 +104,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p attache-dram --quiet
 echo "=== resilient grid executor (quarantine / checkpoint-resume) ==="
 cargo test -q -p attache-bench --release --test resilient
 
+# Compression-kernel equivalence: the u64-lane BDI/FPC kernels against
+# the scalar reference implementations (property + corpus suites), the
+# engine's analysis-only early exits against materializing both images,
+# and the content-keyed memo's transparency — goldens pin every counter,
+# so a memo that changed any outcome fails here, not in review.
+echo "=== compression equivalence: scalar vs vectorized kernels ==="
+cargo test -q -p attache-compress --release
+
+echo "=== compression equivalence: goldens with the memo disabled ==="
+ATTACHE_COMPRESS_MEMO=0 cargo test -q -p attache-sim --release --test golden_stats
+
+echo "=== cargo clippy (attache-compress) -- -D warnings ==="
+cargo clippy -p attache-compress --all-targets -- -D warnings
+
 echo "=== cargo clippy -- -D warnings ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
