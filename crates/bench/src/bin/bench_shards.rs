@@ -1,0 +1,166 @@
+//! Sharded-execution benchmark: the production-scale 8-channel /
+//! 64-core configuration run serially and at `ATTACHE_SHARDS ∈ {2,4,8}`.
+//!
+//! Every sharded run's `RunReport` is asserted byte-identical to the
+//! serial reference before any timing is reported — the speedup numbers
+//! are only meaningful because the work is provably the same. Wall
+//! times, per-shard-count speedups and the host's available parallelism
+//! are written to `<results>/BENCH_shards.json` plus a dated section in
+//! `<results>/BENCH_trajectory.tsv`. Recording the host parallelism is
+//! not decoration: on a single-hardware-thread host the rendezvous
+//! overhead makes speedups *below* 1.0 the honest expectation, and the
+//! JSON has to say so rather than let a reader assume an 8-thread run.
+//!
+//! The per-core run length is `ATTACHE_INSTR / 8` (the 64-core config
+//! retires the same total work as an 8-core run at `ATTACHE_INSTR`), so
+//! `ATTACHE_QUICK` / `ATTACHE_INSTR` / `ATTACHE_WARMUP` control cost as
+//! everywhere else. Run via `scripts/bench.sh` or
+//! `cargo run --release -p attache-bench --bin bench_shards`.
+
+use attache_bench::ExperimentConfig;
+use attache_sim::{BackendKind, MetadataStrategyKind, System};
+use attache_workloads::scale_mix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Repeat count per shard count (`ATTACHE_BENCH_REPEAT`, default 2).
+/// Runs are interleaved across shard counts and the per-count minimum is
+/// reported, discarding transient machine noise.
+fn repeats() -> usize {
+    std::env::var("ATTACHE_BENCH_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("post-epoch clock")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil-from-days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let ec = ExperimentConfig::from_env();
+    // The shard axis IS the measurement; pin the backend to the cycle
+    // model (the fast model ignores shards) and derive the per-core run
+    // length so total retired work matches an 8-core ATTACHE_INSTR run.
+    let instr = (ec.instructions / 8).max(1_000);
+    let warmup = ec.warmup / 8;
+    let base = ec
+        .sim_config()
+        .with_backend(BackendKind::Cycle)
+        .with_instructions(instr, warmup)
+        .with_strategy(MetadataStrategyKind::Attache);
+    let mut cfg = attache_sim::SimConfig::scale8_baseline();
+    cfg.strategy = base.strategy;
+    cfg.backend = base.backend;
+    cfg.engine = base.engine;
+    cfg.instructions_per_core = base.instructions_per_core;
+    cfg.warmup_instructions_per_core = base.warmup_instructions_per_core;
+    let mix = scale_mix(cfg.core.cores);
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "shard benchmark: 8 channels x 64 cores, {instr} instr + {warmup} warm-up per core, \
+         seed {}, host threads {host_threads}",
+        ec.seed
+    );
+    println!("{:>6} {:>11} {:>9}  report", "shards", "wall [s]", "speedup");
+
+    let mut walls = vec![f64::INFINITY; SHARD_COUNTS.len()];
+    let mut reference = None;
+    for _ in 0..repeats() {
+        for (i, &n) in SHARD_COUNTS.iter().enumerate() {
+            let run_cfg = cfg.clone().with_shards(n);
+            let t = Instant::now();
+            let report = System::run_mix(&run_cfg, &mix, ec.seed);
+            walls[i] = walls[i].min(t.elapsed().as_secs_f64());
+            // Bit-identity first, timing second: a sharded run that
+            // diverged from serial would make the speedup meaningless.
+            match &reference {
+                None => reference = Some(report),
+                Some(r) => assert_eq!(
+                    *r, report,
+                    "shards={n}: RunReport diverged from the serial reference"
+                ),
+            }
+        }
+    }
+
+    let serial = walls[0];
+    let mut rows = String::new();
+    let mut best = 0.0f64;
+    for (i, &n) in SHARD_COUNTS.iter().enumerate() {
+        let speedup = serial / walls[i];
+        if n > 1 {
+            best = best.max(speedup);
+        }
+        println!(
+            "{n:>6} {:>11.3} {:>8.2}x  bit-identical",
+            walls[i], speedup
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"shards\": {n}, \"wall_secs\": {:.6}, \"speedup\": {speedup:.3}}}",
+            walls[i],
+        );
+    }
+
+    let date = today_utc();
+    let report = reference.expect("at least one run");
+    let json = format!(
+        "{{\n  \"date\": \"{date}\",\n  \"config\": \"scale8 (8ch x 64 cores, Attache, mix)\",\n  \
+         \"instructions_per_core\": {instr},\n  \"warmup_per_core\": {warmup},\n  \
+         \"seed\": {},\n  \"host_threads\": {host_threads},\n  \
+         \"bus_cycles\": {},\n  \"reports_bit_identical\": true,\n  \
+         \"cases\": [\n{rows}\n  ],\n  \"best_speedup\": {best:.3}\n}}\n",
+        ec.seed, report.bus_cycles,
+    );
+    let dir = ec.results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_shards.json");
+    std::fs::write(&path, json).expect("write BENCH_shards.json");
+
+    // Trajectory: the TSV is sectioned per benchmark (bench_compress owns
+    // the original header); bench_shards appends its own header once,
+    // then one dated row per run.
+    let traj = dir.join("BENCH_trajectory.tsv");
+    let header = "date\tinstr\thost_threads\tsh1_s\tsh2_s\tsh4_s\tsh8_s\tbest_speedup";
+    let prev = std::fs::read_to_string(&traj).unwrap_or_default();
+    let mut line = String::new();
+    if !prev.contains(header) {
+        let _ = writeln!(line, "{header}");
+    }
+    let _ = write!(line, "{date}\t{instr}\t{host_threads}");
+    for w in &walls {
+        let _ = write!(line, "\t{w:.3}");
+    }
+    let _ = writeln!(line, "\t{best:.2}");
+    std::fs::write(&traj, prev + &line).expect("append BENCH_trajectory.tsv");
+    println!(
+        "\nbest sharded speedup {best:.2}x on {host_threads} host thread(s) -> {}",
+        path.display()
+    );
+}

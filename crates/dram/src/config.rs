@@ -129,6 +129,17 @@ impl DramConfig {
         }
     }
 
+    /// The production-scale memory system the ROADMAP targets: Table II
+    /// widened to 8 channels (the per-channel geometry, sub-ranking and
+    /// timing are unchanged). This is the configuration the channel
+    /// sharding ([`crate::ShardedMemory`]) exists to make tractable.
+    pub fn scale8() -> Self {
+        Self {
+            channels: 8,
+            ..Self::table2()
+        }
+    }
+
     /// Banks per rank.
     pub fn banks(&self) -> usize {
         self.bank_groups * self.banks_per_group

@@ -40,8 +40,12 @@ pub mod power;
 pub mod rank;
 pub mod referee;
 pub mod request;
+pub mod shard;
 
-pub use backend::{new_backend, BackendKind, MemoryBackend, UnknownBackend};
+pub use backend::{
+    new_backend, new_backend_with_shards, BackendKind, MemoryBackend, UnknownBackend,
+};
+pub use shard::ShardedMemory;
 pub use channel::{Channel, ChannelStats, QueueFull};
 pub use fast::FastMemory;
 pub use referee::{referee_replay, RefereeConfig, RefereeReport, ReplaySummary, Tolerance};

@@ -122,6 +122,15 @@ impl CoreConfig {
             cpu_cycles_per_2_bus_cycles: 5,
         }
     }
+
+    /// The production-scale core complex paired with
+    /// [`DramConfig::scale8`]: 64 Table-II cores (8 per channel).
+    pub fn scale64() -> Self {
+        Self {
+            cores: 64,
+            ..Self::table2()
+        }
+    }
 }
 
 /// The full simulation configuration.
@@ -195,6 +204,13 @@ pub struct SimConfig {
     /// which the resilient grid executor converts into a structured
     /// timed-out outcome.
     pub tick_budget: Option<u64>,
+    /// Channel shards for the cycle backend (`ATTACHE_SHARDS=<n>`,
+    /// unset/`0`/`1` = serial): the DRAM channels are partitioned across
+    /// `n` worker threads that rendezvous at every executed tick.
+    /// Results are **bit-identical** to the serial run for any value
+    /// (pinned by `crates/sim/tests/sharded.rs`) — the knob trades
+    /// wall-clock only, so it is absent from cache keys at the default.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -222,7 +238,21 @@ impl SimConfig {
             mirror_poison: false,
             faults: crate::faults::FaultPlan::from_env(),
             tick_budget: crate::env::env_u64_opt("ATTACHE_JOB_TICK_BUDGET"),
+            shards: shards_from_env(),
         }
+    }
+
+    /// The production-scale configuration the ROADMAP targets: 8 DRAM
+    /// channels ([`DramConfig::scale8`]) fed by 64 cores
+    /// ([`CoreConfig::scale64`]), with every run control inherited from
+    /// [`table2_baseline`](SimConfig::table2_baseline). This is the
+    /// profile the sharded executor exists for — at 8 channels a
+    /// single-threaded run is the wall-clock ceiling.
+    pub fn scale8_baseline() -> Self {
+        let mut cfg = Self::table2_baseline();
+        cfg.core = CoreConfig::scale64();
+        cfg.dram = attache_dram::DramConfig::scale8();
+        cfg
     }
 
     /// Same configuration with a different strategy.
@@ -294,6 +324,26 @@ impl SimConfig {
         self.tick_budget = budget;
         self
     }
+
+    /// Same configuration with an explicit shard count (overriding
+    /// whatever `ATTACHE_SHARDS` selected; `1` = serial execution).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// Reads `ATTACHE_SHARDS`: the channel-shard count for the cycle
+/// backend. Unset, empty, `0` and `1` all select serial execution;
+/// unparsable values warn on stderr (via [`crate::env::env_u64_opt`])
+/// and fall back to serial, never panic. Deliberately *not* cached in a
+/// `OnceLock`: sharding is bit-identity-pinned, and tests toggle the
+/// variable between config constructions.
+pub fn shards_from_env() -> usize {
+    crate::env::env_u64_opt("ATTACHE_SHARDS")
+        .map(|n| n as usize)
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Reads `ATTACHE_MIRROR`: any non-empty value other than `0` enables the

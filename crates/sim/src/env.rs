@@ -47,6 +47,7 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ATTACHE_RESULTS",
     "ATTACHE_RESUME",
     "ATTACHE_SEED",
+    "ATTACHE_SHARDS",
     "ATTACHE_TRACE",
     "ATTACHE_TRACE_RING",
     "ATTACHE_WARMUP",

@@ -246,7 +246,8 @@ impl System {
             strategy.enable_faults(plan);
         }
         let observer = Observer::from_config(cfg);
-        let mut mem = attache_dram::new_backend(cfg.backend, cfg.dram, cfg.power);
+        let mut mem =
+            attache_dram::new_backend_with_shards(cfg.backend, cfg.dram, cfg.power, cfg.shards);
         if let Some(ring) = observer.as_ref().and_then(|o| o.ring.clone()) {
             strategy.set_trace(ring.clone());
             mem.set_trace(ring);

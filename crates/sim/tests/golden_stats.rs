@@ -143,3 +143,34 @@ fn golden_stats_match_for_all_strategies_under_both_engines() {
         );
     }
 }
+
+#[test]
+fn sharded_runs_match_the_unchanged_goldens() {
+    // Sharded-execution satellite: `with_shards(2)` must reproduce the
+    // checked-in goldens byte-for-byte — the snapshots were blessed
+    // from serial runs and are deliberately NOT re-blessed here. If a
+    // shard-merge bug ever shifted a counter or an energy bit, this is
+    // the test that refuses to let it into the observability layer.
+    // Skipped under ATTACHE_BLESS so a blessing run cannot launder a
+    // sharded divergence into fresh goldens.
+    if std::env::var_os("ATTACHE_BLESS").is_some() {
+        return;
+    }
+    let profile = pinned_profile();
+    for strategy in STRATEGIES {
+        let cfg = pinned(strategy, EngineKind::Event).with_shards(2);
+        let (report, obs) = System::run_rate_mode_observed(&cfg, profile.clone(), SEED);
+        assert!(report.bus_cycles > 0, "{strategy} sharded");
+        let obs = obs.expect("the epoch knob is on, so an observation exists");
+        let json = registry_to_json(&obs.registry);
+        let path = golden_path(strategy);
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden {}: {e}", path.display()));
+        assert_eq!(
+            json,
+            golden,
+            "{strategy}: a 2-shard run diverged from the serial-blessed golden {}",
+            path.display()
+        );
+    }
+}

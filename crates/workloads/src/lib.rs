@@ -34,5 +34,5 @@ pub mod trace;
 
 pub use access::{AccessGen, AccessPattern};
 pub use data::{DataProfile, DataSynthesizer};
-pub use profiles::{all_rate_profiles, mixes, Category, MixWorkload, Profile, Suite};
+pub use profiles::{all_rate_profiles, mixes, scale_mix, Category, MixWorkload, Profile, Suite};
 pub use trace::{TraceEvent, TraceGenerator};

@@ -250,6 +250,28 @@ pub fn mixes() -> Vec<MixWorkload> {
     ]
 }
 
+/// A production-scale mixed workload for `cores` cores (the ROADMAP's
+/// 8-channel / 64-core configs): the full rate-mode catalog cycled
+/// core-by-core, with every fourth member on mixed pages so the LiPR
+/// regime stays represented at any width. Deterministic in `cores`
+/// alone, so sharded-vs-serial comparisons can name it in both runs.
+pub fn scale_mix(cores: usize) -> MixWorkload {
+    let catalog = all_rate_profiles();
+    MixWorkload {
+        name: "scale",
+        cores: (0..cores)
+            .map(|i| {
+                let p = catalog[i % catalog.len()].clone();
+                if i % 4 == 3 {
+                    p.with_mixed_pages()
+                } else {
+                    p
+                }
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +282,25 @@ mod tests {
         assert_eq!(all.len(), 20);
         let names: std::collections::HashSet<_> = all.iter().map(|p| p.name).collect();
         assert_eq!(names.len(), 20, "names must be unique");
+    }
+
+    #[test]
+    fn scale_mix_cycles_the_catalog_at_any_width() {
+        let wide = scale_mix(64);
+        assert_eq!(wide.cores.len(), 64);
+        // Cycles the whole 20-profile catalog rather than repeating a
+        // prefix, and mixes pages on every fourth core.
+        let names: std::collections::HashSet<_> = wide.cores.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 20);
+        let base = all_rate_profiles();
+        assert_eq!(
+            wide.cores[3].data,
+            DataProfile::mixed(base[3].data.expected_compressible())
+        );
+        assert_eq!(wide.cores[0].data, base[0].data);
+        // Deterministic in the width alone.
+        assert_eq!(scale_mix(64), wide);
+        assert_eq!(scale_mix(8).cores.len(), 8);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 #   * the compression hot-path benchmark    -> results/BENCH_compress.json
 #     (kernel MB/s + end-to-end Mcyc/s, plus a dated line appended to
 #     results/BENCH_trajectory.tsv so each PR's numbers form a series)
+#   * the sharded-execution benchmark       -> results/BENCH_shards.json
+#     (ATTACHE_SHARDS in {1,2,4,8} on the 8-channel/64-core config;
+#     every sharded run is asserted bit-identical to serial before its
+#     wall time counts, and the host's available parallelism is recorded
+#     so single-thread numbers read as what they are)
 # over the memory-bound profile grid, writing wall times and speedups.
 #
 # Knobs (all optional, same semantics as the experiment harness):
@@ -23,3 +28,4 @@ cargo build --release -p attache-bench
 ./target/release/bench_engine
 ./target/release/bench_backend
 ./target/release/bench_compress
+./target/release/bench_shards

@@ -90,6 +90,32 @@ echo "=== backend conformance: sim suites under ATTACHE_ENGINE=event ==="
 ATTACHE_QUICK=1 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release \
     --test backends --test differential
 
+# Sharded execution (docs/ARCHITECTURE.md "Sharded execution"): the
+# determinism battery pins sharded-vs-serial RunReport byte-equality for
+# every strategy/engine/backend, sweeps shard counts including
+# non-dividing ones, fuzzes adversarial cross-shard schedules, and
+# replays the shrunk corpus cases. The battery pins both engines
+# internally, so it runs once; the golden/mirror/fault/differential
+# suites then re-run under an ambient ATTACHE_SHARDS=2 to prove every
+# other contract in CI holds verbatim on a threaded run (the goldens
+# are NOT re-blessed — bit-identity is the point).
+echo "=== sharded determinism battery ==="
+cargo test -q -p attache-sim --release --test sharded
+cargo test -q -p attache --release --test determinism
+
+echo "=== golden stats + mirror + faults + differential under ATTACHE_SHARDS=2 ==="
+ATTACHE_SHARDS=2 cargo test -q -p attache-sim --release \
+    --test golden_stats --test mirror_oracle --test faults --test differential
+
+# Every suite above runs at the default libtest parallelism: tests that
+# touch shard or engine knobs do so through builders, never by mutating
+# the ambient environment. Serializing libtest would mask a reintroduced
+# env mutation, so any test-threads override in scripts/ is a CI error
+# (the bracket class keeps this check from matching itself).
+if grep -rEn -- "--test-threads[= ][0-9]" scripts/; then
+    echo "ci.sh: scripts must stay parallel-safe (no test-threads override)"; exit 1
+fi
+
 # The backend contract is documentation-first (a third backend is meant
 # to be written from docs/BACKENDS.md + the trait rustdoc alone), so
 # broken intra-doc links or malformed rustdoc on the dram crate are CI
