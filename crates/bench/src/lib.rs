@@ -6,7 +6,7 @@
 //! strategy × override) matrix — and [`grid::Grid::run`] executes the
 //! jobs on a worker pool with per-job [`RunReport`](attache_sim::RunReport)
 //! memoization under `results/cache/`. Grid points shared between figures
-//! (the 22-workload × 4-strategy sweep feeds Figs. 1 and 12-15) are
+//! (the 22-workload × 5-strategy sweep feeds Figs. 1, 12-15 and 18) are
 //! simulated once, ever, per configuration.
 //!
 //! Knobs (environment variables; see EXPERIMENTS.md for details):

@@ -1,5 +1,5 @@
 //! The full result sweep: 20 rate-mode workloads + 2 mixes, each under
-//! all four metadata strategies.
+//! all five metadata strategies.
 //!
 //! The sweep powers Figs. 1, 11, 12, 13, 14 and 15. It executes through
 //! the [`Grid`] engine, so its grid points land in the per-job report
@@ -16,13 +16,12 @@ use std::path::PathBuf;
 use crate::grid::{Grid, WorkloadRef};
 use crate::runner::ExperimentConfig;
 
-/// The strategies in sweep (and figure) order.
-pub const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+/// The strategies in sweep (and figure) order. Tracks
+/// [`MetadataStrategyKind::ALL`]: the strategy is part of each job's
+/// cache key, so appending a strategy leaves every existing
+/// `results/cache/` entry valid.
+pub const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 /// One (workload, strategy) result distilled from a [`RunReport`].
 #[derive(Debug, Clone, PartialEq)]
@@ -239,7 +238,7 @@ impl ResultSet {
         }
     }
 
-    /// The sweep's (workload × strategy) grid: 22 workloads × 4 strategies,
+    /// The sweep's (workload × strategy) grid: 22 workloads × 5 strategies,
     /// workloads-major per strategy.
     pub fn grid() -> Grid {
         let mut workloads: Vec<WorkloadRef> = all_rate_profiles()
@@ -250,7 +249,7 @@ impl ResultSet {
         Grid::cross(&workloads, &STRATEGIES)
     }
 
-    /// Runs the full sweep (22 workloads × 4 strategies) on the grid
+    /// Runs the full sweep (22 workloads × 5 strategies) on the grid
     /// engine: parallel across `cfg.workers()` threads, memoized per job.
     pub fn run_sweep(cfg: &ExperimentConfig) -> ResultSet {
         let reports = Self::grid().run(cfg);

@@ -29,8 +29,10 @@
 pub mod bdi;
 pub mod engine;
 pub mod fpc;
+pub mod marker;
 
 pub use engine::{CompressionEngine, CompressionOutcome};
+pub use marker::{MarkerClass, MarkerCodec};
 
 /// The size of a main-memory block (one cacheline) in bytes.
 pub const BLOCK_SIZE: usize = 64;

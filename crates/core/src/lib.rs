@@ -42,6 +42,7 @@
 
 pub mod blem;
 pub mod copr;
+pub mod cram;
 pub mod fasthash;
 pub mod header;
 pub mod memo;
@@ -49,6 +50,7 @@ pub mod replacement_area;
 pub mod scramble;
 
 pub use blem::{Blem, BlemStats, ReadInfo, StoredImage, WriteOutcome};
+pub use cram::{Cram, CramReadInfo, CramStats, CramWriteOutcome};
 pub use copr::{Copr, CoprConfig, CoprSource, CoprStats};
 pub use memo::{MemoStats, MemoizedEngine};
 pub use header::{CidConfig, CidValue, HeaderMatch};

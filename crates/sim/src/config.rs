@@ -20,7 +20,55 @@ pub enum MetadataStrategyKind {
     /// Compression + sub-ranking with free, always-correct metadata — the
     /// "ideal" bars in Figs. 12-13.
     Oracle,
+    /// Compression + sub-ranking with CRAM-style implicit metadata
+    /// (PAPERS.md, Young/Kariyappa/Qureshi): compression state is
+    /// inferred from an in-line marker word — no metadata region, no
+    /// metadata-cache, no predictor — with a Touché-style escape encoding
+    /// absorbing the incompressible lines whose content collides with
+    /// the marker.
+    Cram,
 }
+
+impl MetadataStrategyKind {
+    /// Every strategy, in the canonical sweep order. Strategy-generic
+    /// test suites and the bench grid iterate this slice so a new
+    /// variant cannot silently skip the oracle: [`ordinal`]
+    /// (MetadataStrategyKind::ordinal) is an exhaustive match the
+    /// compiler re-checks on every added variant, and the `const` block
+    /// below fails the build unless `ALL` lists each variant exactly
+    /// once, in ordinal order.
+    pub const ALL: [Self; 5] = [
+        Self::Baseline,
+        Self::MetadataCache,
+        Self::Attache,
+        Self::Oracle,
+        Self::Cram,
+    ];
+
+    /// This strategy's position in [`ALL`](Self::ALL). The exhaustive
+    /// match is the compile-time guard: adding a variant without
+    /// extending it refuses to build.
+    pub const fn ordinal(self) -> usize {
+        match self {
+            Self::Baseline => 0,
+            Self::MetadataCache => 1,
+            Self::Attache => 2,
+            Self::Oracle => 3,
+            Self::Cram => 4,
+        }
+    }
+}
+
+const _: () = {
+    let mut i = 0;
+    while i < MetadataStrategyKind::ALL.len() {
+        assert!(
+            MetadataStrategyKind::ALL[i].ordinal() == i,
+            "MetadataStrategyKind::ALL must list every variant in ordinal order"
+        );
+        i += 1;
+    }
+};
 
 impl core::fmt::Display for MetadataStrategyKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -29,6 +77,7 @@ impl core::fmt::Display for MetadataStrategyKind {
             MetadataStrategyKind::MetadataCache => "MetadataCache",
             MetadataStrategyKind::Attache => "Attache",
             MetadataStrategyKind::Oracle => "Ideal",
+            MetadataStrategyKind::Cram => "Cram",
         };
         f.write_str(s)
     }
@@ -45,6 +94,7 @@ impl core::str::FromStr for MetadataStrategyKind {
             "MetadataCache" => Ok(MetadataStrategyKind::MetadataCache),
             "Attache" => Ok(MetadataStrategyKind::Attache),
             "Ideal" | "Oracle" => Ok(MetadataStrategyKind::Oracle),
+            "Cram" => Ok(MetadataStrategyKind::Cram),
             _ => Err(UnknownStrategy),
         }
     }
@@ -56,7 +106,9 @@ pub struct UnknownStrategy;
 
 impl core::fmt::Display for UnknownStrategy {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str("unknown metadata strategy (expected Baseline, MetadataCache, Attache or Ideal)")
+        f.write_str(
+            "unknown metadata strategy (expected Baseline, MetadataCache, Attache, Ideal or Cram)",
+        )
     }
 }
 
@@ -421,5 +473,19 @@ mod tests {
     fn strategy_display_names() {
         assert_eq!(MetadataStrategyKind::Baseline.to_string(), "Baseline");
         assert_eq!(MetadataStrategyKind::Oracle.to_string(), "Ideal");
+        assert_eq!(MetadataStrategyKind::Cram.to_string(), "Cram");
+    }
+
+    #[test]
+    fn all_slice_roundtrips_through_display_and_from_str() {
+        for (i, kind) in MetadataStrategyKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.ordinal(), i);
+            let parsed: MetadataStrategyKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind, "Display form must parse back");
+        }
+        assert_eq!(
+            "bogus".parse::<MetadataStrategyKind>(),
+            Err(UnknownStrategy)
+        );
     }
 }

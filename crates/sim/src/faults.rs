@@ -24,6 +24,16 @@
 //! | `key_swap`      | the scrambler key register     | detected per stale line   |
 //! | `bus_derate`    | read-queue capacity window     | absorbed (timing only)    |
 //!
+//! Under the Cram strategy the metadata-bearing state is the in-line
+//! marker rather than a CID register, so the classes target the
+//! analogous structures: `cid_forge` forges the *marker word* onto a
+//! verbatim line (a false compression the fault-tolerant decode chain
+//! must degrade through), `cid_erase` scribbles on an escape-led line's
+//! first word so the parked bytes are never restored, `ra_corrupt`
+//! flips a parked byte in the exception region, and `key_swap` stales
+//! every *compressed* payload (verbatim lines carry no scrambling and
+//! absorb it). `mc_invalidate` has no target and is skipped.
+//!
 //! Every injection increments `injected` for its class; its eventual
 //! fate lands in exactly one of `detected` (mirror mismatch on a decoded
 //! read), `absorbed` (overwritten first, or provably decode-invisible at
@@ -49,6 +59,7 @@ use std::fmt;
 
 use attache_cache::MetadataCache;
 use attache_core::blem::{Blem, StoredImage};
+use attache_core::cram::Cram;
 use attache_testkit::Gen;
 
 /// Scheduled injections probe at most this many candidate lines before
@@ -301,10 +312,12 @@ impl FaultPlan {
 /// the strategy (split-borrowed so the strategy's other fields stay
 /// usable).
 pub struct FaultTargets<'a> {
-    /// The stored-image map (Attaché's DRAM contents).
+    /// The stored-image map (Attaché's / Cram's DRAM contents).
     pub images: &'a mut FastMap<u64, StoredImage>,
     /// The BLEM engine, when the strategy has one.
     pub blem: Option<&'a mut Blem>,
+    /// The CRAM implicit-marker engine, when the strategy has one.
+    pub cram: Option<&'a mut Cram>,
     /// The Metadata-Cache, when the strategy has one.
     pub meta_cache: Option<&'a mut MetadataCache>,
 }
@@ -506,7 +519,7 @@ impl FaultInjector {
         out: &mut FaultOutcome,
     ) -> bool {
         let Some(blem) = targets.blem.as_deref_mut() else {
-            return false;
+            return self.inject_line_flip_cram(now, targets, out);
         };
         let images = &mut *targets.images;
         // A line already carrying an outstanding fault is ineligible: a
@@ -549,6 +562,52 @@ impl FaultInjector {
         true
     }
 
+    /// The Cram arm of `line_flip`: same body-bit flip, with the CRAM
+    /// engine classifying the corruption as absorbed or pending.
+    fn inject_line_flip_cram(
+        &mut self,
+        now: u64,
+        targets: &mut FaultTargets<'_>,
+        out: &mut FaultOutcome,
+    ) -> bool {
+        let Some(cram) = targets.cram.as_deref_mut() else {
+            return false;
+        };
+        let images = &mut *targets.images;
+        let pending = &self.pending;
+        let Some(line) = Self::probe(&mut self.gen, &self.written, |l| {
+            !pending.contains_key(&l) && images.contains_key(&l)
+        }) else {
+            return false;
+        };
+        let image = images.get(&line).expect("probe checked presence");
+        let before = cram.peek_line(line, image);
+        let mut mutated = image.clone();
+        // Flip one bit in the body, past the 2-byte marker/escape word:
+        // first-word perturbations are their own classes.
+        let (bytes, span): (&mut [u8], u64) = match &mut mutated {
+            StoredImage::Compressed(b) => (&mut b[..], 30),
+            StoredImage::Uncompressed(b) => (&mut b[..], 62),
+        };
+        let byte = 2 + self.gen.below(span) as usize;
+        let bit = self.gen.below(8) as u32;
+        bytes[byte] ^= 1 << bit;
+        let after = cram.peek_line(line, &mutated);
+        let absorbed = after == before;
+        images.insert(line, mutated);
+        self.stats.get_mut(FaultClass::LineFlip).injected += 1;
+        if absorbed {
+            self.stats.get_mut(FaultClass::LineFlip).absorbed += 1;
+        } else {
+            self.mark_pending(line, FaultClass::LineFlip);
+        }
+        out.events.push(format!(
+            "fault line_flip @{now}: line {line:#x} byte {byte} bit {bit}{}",
+            if absorbed { " (absorbed)" } else { "" }
+        ));
+        true
+    }
+
     fn inject_cid_forge(
         &mut self,
         now: u64,
@@ -556,7 +615,7 @@ impl FaultInjector {
         out: &mut FaultOutcome,
     ) -> bool {
         let Some(blem) = targets.blem.as_deref_mut() else {
-            return false;
+            return self.inject_marker_forge_cram(now, targets, out);
         };
         let images = &mut *targets.images;
         let pending = &self.pending;
@@ -582,6 +641,41 @@ impl FaultInjector {
         true
     }
 
+    /// The Cram arm of `cid_forge`: forge the *marker word* onto a
+    /// verbatim uncompressed line, so the read path believes it is
+    /// compressed and must degrade through the fault-tolerant decode
+    /// chain.
+    fn inject_marker_forge_cram(
+        &mut self,
+        now: u64,
+        targets: &mut FaultTargets<'_>,
+        out: &mut FaultOutcome,
+    ) -> bool {
+        let Some(cram) = targets.cram.as_deref_mut() else {
+            return false;
+        };
+        let images = &mut *targets.images;
+        let codec = cram.codec();
+        let pending = &self.pending;
+        let Some(line) = Self::probe(&mut self.gen, &self.written, |l| {
+            !pending.contains_key(&l)
+                && matches!(images.get(&l), Some(StoredImage::Uncompressed(b))
+                    if !codec.collides(u16::from_be_bytes([b[0], b[1]])))
+        }) else {
+            return false;
+        };
+        let Some(StoredImage::Uncompressed(bytes)) = images.get_mut(&line) else {
+            unreachable!("probe checked the image kind");
+        };
+        let marker = codec.encode(attache_compress::Algorithm::Bdi);
+        bytes[..2].copy_from_slice(&marker.to_be_bytes());
+        self.stats.get_mut(FaultClass::CidForge).injected += 1;
+        self.mark_pending(line, FaultClass::CidForge);
+        out.events
+            .push(format!("fault cid_forge @{now}: line {line:#x} marker {marker:#06x}"));
+        true
+    }
+
     fn inject_cid_erase(
         &mut self,
         now: u64,
@@ -589,7 +683,7 @@ impl FaultInjector {
         out: &mut FaultOutcome,
     ) -> bool {
         let Some(blem) = targets.blem.as_deref_mut() else {
-            return false;
+            return self.inject_escape_erase_cram(now, targets, out);
         };
         let images = &mut *targets.images;
         let pending = &self.pending;
@@ -614,6 +708,43 @@ impl FaultInjector {
         true
     }
 
+    /// The Cram arm of `cid_erase`: flip a low bit of an escape-led
+    /// line's first word. The word now classifies as plain, so the read
+    /// path skips the exception-region restore it needed — the parked
+    /// bytes are lost.
+    fn inject_escape_erase_cram(
+        &mut self,
+        now: u64,
+        targets: &mut FaultTargets<'_>,
+        out: &mut FaultOutcome,
+    ) -> bool {
+        let Some(cram) = targets.cram.as_deref_mut() else {
+            return false;
+        };
+        let images = &mut *targets.images;
+        let escape = cram.codec().escape_word();
+        let pending = &self.pending;
+        let Some(line) = Self::probe(&mut self.gen, &self.colliding, |l| {
+            !pending.contains_key(&l)
+                && matches!(images.get(&l), Some(StoredImage::Uncompressed(b))
+                    if u16::from_be_bytes([b[0], b[1]]) == escape)
+        }) else {
+            return false;
+        };
+        let Some(StoredImage::Uncompressed(bytes)) = images.get_mut(&line) else {
+            unreachable!("probe checked the image kind");
+        };
+        // Bit 1 of the first word: distinct from the marker (top-bit
+        // distance) and from the escape itself, so the result always
+        // classifies as a plain line.
+        bytes[1] ^= 0x02;
+        self.stats.get_mut(FaultClass::CidErase).injected += 1;
+        self.mark_pending(line, FaultClass::CidErase);
+        out.events
+            .push(format!("fault cid_erase @{now}: line {line:#x} (escape erased)"));
+        true
+    }
+
     fn inject_ra_corrupt(
         &mut self,
         now: u64,
@@ -621,7 +752,7 @@ impl FaultInjector {
         out: &mut FaultOutcome,
     ) -> bool {
         let Some(blem) = targets.blem.as_deref_mut() else {
-            return false;
+            return self.inject_exception_corrupt_cram(now, targets, out);
         };
         let images = &mut *targets.images;
         // The fault must land on a line that will *consult* the RA on
@@ -643,6 +774,38 @@ impl FaultInjector {
         self.mark_pending(line, FaultClass::RaCorrupt);
         out.events
             .push(format!("fault ra_corrupt @{now}: line {line:#x}"));
+        true
+    }
+
+    /// The Cram arm of `ra_corrupt`: flip a parked byte in the exception
+    /// region, so the next escape-led read restores corrupted bytes.
+    fn inject_exception_corrupt_cram(
+        &mut self,
+        now: u64,
+        targets: &mut FaultTargets<'_>,
+        out: &mut FaultOutcome,
+    ) -> bool {
+        let Some(cram) = targets.cram.as_deref_mut() else {
+            return false;
+        };
+        let images = &mut *targets.images;
+        let escape = cram.codec().escape_word();
+        let pending = &self.pending;
+        let Some(line) = Self::probe(&mut self.gen, &self.colliding, |l| {
+            !pending.contains_key(&l)
+                && cram.has_exception(l)
+                && matches!(images.get(&l), Some(StoredImage::Uncompressed(b))
+                    if u16::from_be_bytes([b[0], b[1]]) == escape)
+        }) else {
+            return false;
+        };
+        if !cram.fault_flip_exception_bit(line) {
+            return false;
+        }
+        self.stats.get_mut(FaultClass::RaCorrupt).injected += 1;
+        self.mark_pending(line, FaultClass::RaCorrupt);
+        out.events
+            .push(format!("fault ra_corrupt @{now}: line {line:#x} (exception bytes)"));
         true
     }
 
@@ -678,7 +841,7 @@ impl FaultInjector {
         out: &mut FaultOutcome,
     ) -> bool {
         let Some(blem) = targets.blem.as_deref_mut() else {
-            return false;
+            return self.inject_key_swap_cram(now, targets, out);
         };
         let images = &mut *targets.images;
         if images.is_empty() {
@@ -704,6 +867,53 @@ impl FaultInjector {
             let c = self.stats.get_mut(FaultClass::KeySwap);
             c.injected += 1;
             if blem.peek_line(line, &images[&line]) == old {
+                c.absorbed += 1;
+            } else {
+                corrupted += 1;
+                self.mark_pending(line, FaultClass::KeySwap);
+            }
+        }
+        out.events.push(format!(
+            "fault key_swap @{now}: {corrupted} stale line(s) of {}",
+            lines.len()
+        ));
+        true
+    }
+
+    /// The Cram arm of `key_swap`: only compressed payloads are
+    /// scrambled (verbatim lines must keep their natural bytes for the
+    /// marker comparison), so a swapped key stales exactly the
+    /// marker-led lines.
+    fn inject_key_swap_cram(
+        &mut self,
+        now: u64,
+        targets: &mut FaultTargets<'_>,
+        out: &mut FaultOutcome,
+    ) -> bool {
+        let Some(cram) = targets.cram.as_deref_mut() else {
+            return false;
+        };
+        let images = &mut *targets.images;
+        if images.is_empty() {
+            return false;
+        }
+        let lines: Vec<u64> = self
+            .written
+            .iter()
+            .copied()
+            .filter(|l| images.contains_key(l) && !self.pending.contains_key(l))
+            .collect();
+        let before: Vec<(u64, attache_compress::Block)> = lines
+            .iter()
+            .map(|&l| (l, cram.peek_line(l, &images[&l])))
+            .collect();
+        let new_seed = self.gen.next_u64();
+        cram.swap_scrambler_key(new_seed);
+        let mut corrupted = 0u64;
+        for (line, old) in before {
+            let c = self.stats.get_mut(FaultClass::KeySwap);
+            c.injected += 1;
+            if cram.peek_line(line, &images[&line]) == old {
                 c.absorbed += 1;
             } else {
                 corrupted += 1;

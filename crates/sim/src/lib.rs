@@ -2,7 +2,7 @@
 //!
 //! Ties together the substrates: trace-driven OoO [cores](core_model), the
 //! shared [LLC](attache_cache::Llc), a [metadata strategy](strategy)
-//! (Baseline / Metadata-Cache / Attaché / Oracle) and the cycle-level
+//! (Baseline / Metadata-Cache / Attaché / Oracle / Cram) and the cycle-level
 //! [DRAM model](attache_dram). One [`System::run_rate_mode`] call
 //! reproduces one bar of one figure.
 //!

@@ -264,6 +264,18 @@ impl Observer {
             }
         }
 
+        // core.cram.* — Cram strategy only, so the other strategies'
+        // exported key sets are untouched.
+        if let Some(c) = strategy.cram_stats() {
+            r.set_counter("core.cram.writes", c.writes);
+            r.set_counter("core.cram.compressed_writes", c.compressed_writes);
+            r.set_counter("core.cram.write_exceptions", c.write_exceptions);
+            r.set_counter("core.cram.reads", c.reads);
+            r.set_counter("core.cram.compressed_reads", c.compressed_reads);
+            r.set_counter("core.cram.read_exceptions", c.read_exceptions);
+            r.set_gauge("core.cram.implicit_hit_rate", c.implicit_hit_rate());
+        }
+
         // faults.{class}.* — only when fault injection is armed, so
         // faults-off runs export exactly the same key set as before.
         if let Some(fs) = strategy.fault_stats() {

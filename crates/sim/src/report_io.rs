@@ -20,6 +20,7 @@ use attache_cache::metadata_cache::MetadataTraffic;
 use attache_cache::CacheStats;
 use attache_core::blem::BlemStats;
 use attache_core::copr::CoprStats;
+use attache_core::cram::CramStats;
 use attache_core::replacement_area::ReplacementAreaStats;
 use attache_dram::{ChannelStats, EnergyBreakdown};
 use std::collections::HashMap;
@@ -114,6 +115,14 @@ pub fn to_text(report: &RunReport, key: &str) -> String {
         push_cache_stats(&mut s, "mcache", stats);
         push_u64(&mut s, "mtraffic.install_reads", traffic.install_reads);
         push_u64(&mut s, "mtraffic.eviction_writes", traffic.eviction_writes);
+    }
+    if let Some(c) = &report.cram {
+        push_u64(&mut s, "cram.writes", c.writes);
+        push_u64(&mut s, "cram.compressed_writes", c.compressed_writes);
+        push_u64(&mut s, "cram.write_exceptions", c.write_exceptions);
+        push_u64(&mut s, "cram.reads", c.reads);
+        push_u64(&mut s, "cram.compressed_reads", c.compressed_reads);
+        push_u64(&mut s, "cram.read_exceptions", c.read_exceptions);
     }
     s
 }
@@ -241,13 +250,31 @@ pub fn from_text(text: &str, expected_key: Option<&str>) -> Option<RunReport> {
             },
         ))
     });
+    let cram = f.u64("cram.writes").map(|writes| {
+        Some(CramStats {
+            writes,
+            compressed_writes: f.u64("cram.compressed_writes")?,
+            write_exceptions: f.u64("cram.write_exceptions")?,
+            reads: f.u64("cram.reads")?,
+            compressed_reads: f.u64("cram.compressed_reads")?,
+            read_exceptions: f.u64("cram.read_exceptions")?,
+        })
+    });
     // An optional section whose presence flag parsed but whose body didn't
     // is a malformed file, not a missing section.
-    let (copr, blem, ra, metadata_cache) = match (copr, blem, ra, metadata_cache) {
-        (Some(None), ..) | (_, Some(None), ..) | (_, _, Some(None), _) | (.., Some(None)) => {
-            return None
-        }
-        (c, b, r, m) => (c.flatten(), b.flatten(), r.flatten(), m.flatten()),
+    let (copr, blem, ra, metadata_cache, cram) = match (copr, blem, ra, metadata_cache, cram) {
+        (Some(None), ..)
+        | (_, Some(None), ..)
+        | (_, _, Some(None), _, _)
+        | (_, _, _, Some(None), _)
+        | (.., Some(None)) => return None,
+        (c, b, r, m, x) => (
+            c.flatten(),
+            b.flatten(),
+            r.flatten(),
+            m.flatten(),
+            x.flatten(),
+        ),
     };
     Some(RunReport {
         name: f.str("name")?.to_string(),
@@ -295,6 +322,7 @@ pub fn from_text(text: &str, expected_key: Option<&str>) -> Option<RunReport> {
         blem,
         ra,
         metadata_cache,
+        cram,
     })
 }
 
@@ -342,6 +370,7 @@ mod tests {
             blem: None,
             ra: None,
             metadata_cache: None,
+            cram: None,
         };
         if strategy == MetadataStrategyKind::Attache {
             r.copr = Some(CoprStats {
@@ -359,6 +388,16 @@ mod tests {
                 read_collisions: 2,
             });
             r.ra = Some(ReplacementAreaStats { writes: 1, reads: 2 });
+        }
+        if strategy == MetadataStrategyKind::Cram {
+            r.cram = Some(CramStats {
+                writes: 300,
+                compressed_writes: 200,
+                write_exceptions: 1,
+                reads: 1000,
+                compressed_reads: 600,
+                read_exceptions: 2,
+            });
         }
         if strategy == MetadataStrategyKind::MetadataCache {
             r.metadata_cache = Some((
@@ -380,12 +419,7 @@ mod tests {
 
     #[test]
     fn roundtrip_is_exact_for_every_strategy() {
-        for strategy in [
-            MetadataStrategyKind::Baseline,
-            MetadataStrategyKind::MetadataCache,
-            MetadataStrategyKind::Attache,
-            MetadataStrategyKind::Oracle,
-        ] {
+        for strategy in MetadataStrategyKind::ALL {
             let r = sample(strategy);
             let text = to_text(&r, "test-key");
             let back = from_text(&text, Some("test-key")).expect("parses");

@@ -4,6 +4,7 @@ use attache_cache::metadata_cache::MetadataTraffic;
 use attache_cache::CacheStats;
 use attache_core::blem::BlemStats;
 use attache_core::copr::CoprStats;
+use attache_core::cram::CramStats;
 use attache_core::replacement_area::ReplacementAreaStats;
 use attache_dram::{ChannelStats, EnergyBreakdown};
 
@@ -40,6 +41,8 @@ pub struct RunReport {
     pub ra: Option<ReplacementAreaStats>,
     /// Metadata-Cache statistics and traffic (MetadataCache runs only).
     pub metadata_cache: Option<(CacheStats, MetadataTraffic)>,
+    /// CRAM implicit-marker counters (Cram runs only).
+    pub cram: Option<CramStats>,
 }
 
 impl RunReport {
@@ -142,6 +145,7 @@ mod tests {
             blem: None,
             ra: None,
             metadata_cache: None,
+            cram: None,
         }
     }
 

@@ -1,4 +1,4 @@
-//! The four metadata strategies behind one interface.
+//! The five metadata strategies behind one interface.
 //!
 //! Everything else in the pipeline — cores, LLC, DRAM — is identical across
 //! configurations; only the strategy decides (a) how the controller learns
@@ -36,10 +36,17 @@
 //!   Replacement Area.
 //! * **Oracle** — free, always-correct metadata: the "Ideal" bound of
 //!   Figs. 12-13.
+//! * **Cram** — implicit metadata (PAPERS.md: CRAM): a compressed line
+//!   *begins with* a marker word, so there is nothing to cache or
+//!   predict; every read optimistically fetches the marker-bearing half
+//!   and pays a corrective half when the marker is absent, and
+//!   marker-colliding incompressible lines take a Touché-style escape
+//!   encoding whose parked bytes cost exception-region traffic.
 
 use attache_cache::{MetadataCache, MetadataCacheConfig};
 use attache_core::blem::{Blem, StoredImage};
 use attache_core::copr::{Copr, CoprConfig};
+use attache_core::cram::Cram;
 use attache_core::memo::MemoizedEngine;
 use attache_dram::{AccessKind, AccessWidth, AddressMapping, Origin, SubrankId};
 use attache_core::fasthash::FastMap;
@@ -120,6 +127,8 @@ pub struct Strategy {
     // Attaché state.
     blem: Option<Blem>,
     copr: Option<Copr>,
+    // CRAM state: the implicit-marker engine (owns the exception region).
+    cram: Option<Cram>,
     images: FastMap<u64, StoredImage>,
     stats: StrategyStats,
     // Optional shadow-copy correctness oracle (see crate::mirror).
@@ -157,6 +166,7 @@ impl Strategy {
         let blem = (kind == MetadataStrategyKind::Attache)
             .then(|| Blem::with_config(seed, attache_core::header::CidConfig::new(cid_bits)));
         let copr = (kind == MetadataStrategyKind::Attache).then(|| Copr::new(copr));
+        let cram = (kind == MetadataStrategyKind::Cram).then(|| Cram::new(seed));
         Self {
             kind,
             engine: MemoizedEngine::new(),
@@ -166,6 +176,7 @@ impl Strategy {
             meta_cache,
             blem,
             copr,
+            cram,
             images: FastMap::default(),
             stats: StrategyStats::default(),
             mirror: None,
@@ -212,6 +223,9 @@ impl Strategy {
         if let Some(b) = self.blem.as_mut() {
             b.set_fault_tolerant_decode(true);
         }
+        if let Some(c) = self.cram.as_mut() {
+            c.set_fault_tolerant_decode(true);
+        }
         self.faults = Some(Box::new(FaultInjector::new(plan)));
     }
 
@@ -222,6 +236,7 @@ impl Strategy {
         let Self {
             images,
             blem,
+            cram,
             meta_cache,
             faults,
             pristine_probe,
@@ -231,6 +246,7 @@ impl Strategy {
         let mut targets = FaultTargets {
             images,
             blem: blem.as_mut(),
+            cram: cram.as_mut(),
             meta_cache: meta_cache.as_mut(),
         };
         let outcome = inj.tick(now, &mut targets);
@@ -380,10 +396,12 @@ impl Strategy {
     fn actual_compressed(&self, line: u64, backend: &MemoryBackend) -> bool {
         match self.kind {
             MetadataStrategyKind::Baseline => false,
-            MetadataStrategyKind::Attache => match self.images.get(&line) {
-                Some(img) => img.is_compressed(),
-                None => self.probe_pristine(line, backend).0,
-            },
+            MetadataStrategyKind::Attache | MetadataStrategyKind::Cram => {
+                match self.images.get(&line) {
+                    Some(img) => img.is_compressed(),
+                    None => self.probe_pristine(line, backend).0,
+                }
+            }
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
                 match self.stored_comp.get(&line) {
                     Some(&c) => c,
@@ -394,10 +412,11 @@ impl Strategy {
     }
 
     /// Probes `line`'s pristine contents through the per-line cache:
-    /// `(compressed, cid_collision)` for Attaché, `(fits_subrank, false)`
-    /// for the verbatim strategies. Every demand read of a never-written
-    /// line lands here (often twice: plan + resolve), so the cache turns
-    /// the steady-state cost into one map lookup.
+    /// `(compressed, cid_collision)` for Attaché, `(compressed,
+    /// marker_collision)` for Cram, `(fits_subrank, false)` for the
+    /// verbatim strategies. Every demand read of a never-written line
+    /// lands here (often twice: plan + resolve), so the cache turns the
+    /// steady-state cost into one map lookup.
     fn probe_pristine(&self, line: u64, backend: &MemoryBackend) -> (bool, bool) {
         if let Some(&hit) = self.pristine_probe.borrow().get(&line) {
             return hit;
@@ -406,6 +425,10 @@ impl Strategy {
             MetadataStrategyKind::Attache => {
                 let blem = self.blem.as_ref().expect("attache has blem");
                 blem.probe_line(line, &backend.pristine_content(line))
+            }
+            MetadataStrategyKind::Cram => {
+                let cram = self.cram.as_ref().expect("cram present");
+                cram.probe(&backend.pristine_content(line))
             }
             _ => (
                 self.engine.fits_subrank(&backend.pristine_content(line)),
@@ -490,6 +513,21 @@ impl Strategy {
                     predicted_compressed: Some(predicted),
                 }
             }
+            MetadataStrategyKind::Cram => ReadPlan {
+                meta_first: None,
+                data: ReqSpec {
+                    line,
+                    kind: AccessKind::Read,
+                    // Implicit metadata: the controller cannot know the
+                    // stored width until the data arrives, so it always
+                    // fetches the marker-bearing half first and corrects
+                    // when the marker is absent.
+                    width: AccessWidth::Half(self.primary_subrank(line)),
+                    origin: demand,
+                },
+                side: Vec::new(),
+                predicted_compressed: None,
+            },
         }
     }
 
@@ -562,6 +600,51 @@ impl Strategy {
                     });
                 }
                 if collision {
+                    follow.push(ReqSpec {
+                        line: backend.ra_line_of(line),
+                        kind: AccessKind::Read,
+                        width: AccessWidth::Full,
+                        origin: Origin::ReplacementArea,
+                    });
+                }
+            }
+            MetadataStrategyKind::Cram => {
+                // Written-back lines go through the full functional CRAM
+                // read (marker classification, escape restoration);
+                // pristine lines are evaluated with the (cached) pure
+                // probe.
+                let (compressed, exception, decoded) = match self.images.get(&line) {
+                    Some(image) => {
+                        let image = image.clone();
+                        let cram = self.cram.as_mut().expect("cram present");
+                        let (block, info) = cram.read_line(line, &image);
+                        (info.compressed, info.exception, Some(block))
+                    }
+                    None => {
+                        let (c, exc) = self.probe_pristine(line, backend);
+                        (c, exc, None)
+                    }
+                };
+                match decoded {
+                    Some(block) => self.mirror_check_decoded(line, &block),
+                    None => self.mirror_check_pristine(line),
+                }
+                if compressed {
+                    self.stats.compressed_reads += 1;
+                } else {
+                    // The optimistic half read found no marker: the line
+                    // is stored full-width, fetch the other half.
+                    follow.push(ReqSpec {
+                        line,
+                        kind: AccessKind::Read,
+                        width: AccessWidth::Half(self.primary_subrank(line).other()),
+                        origin: Origin::Corrective { core },
+                    });
+                }
+                if exception {
+                    // Escape-led line: the parked bytes live in the
+                    // exception region (the RA address range doubles as
+                    // CRAM's exception store).
                     follow.push(ReqSpec {
                         line: backend.ra_line_of(line),
                         kind: AccessKind::Read,
@@ -682,6 +765,37 @@ impl Strategy {
                     side,
                 }
             }
+            MetadataStrategyKind::Cram => {
+                let cram = self.cram.as_mut().expect("cram present");
+                let w = cram.write_line(line, &backend.content(line));
+                let compressed = w.compressed;
+                let exception = w.exception;
+                wrote_collision = exception;
+                self.images.insert(line, w.image);
+                if compressed {
+                    self.stats.compressed_writes += 1;
+                }
+                let mut side = Vec::new();
+                if exception {
+                    // Park the displaced marker-colliding bytes in the
+                    // exception region.
+                    side.push(ReqSpec {
+                        line: backend.ra_line_of(line),
+                        kind: AccessKind::Write,
+                        width: AccessWidth::Full,
+                        origin: Origin::ReplacementArea,
+                    });
+                }
+                WritePlan {
+                    data: ReqSpec {
+                        line,
+                        kind: AccessKind::Write,
+                        width: self.width_for(line, compressed),
+                        origin: Origin::Writeback,
+                    },
+                    side,
+                }
+            }
         };
         if let Some(inj) = self.faults.as_mut() {
             // A write both refreshes the targetable-line lists and
@@ -695,7 +809,9 @@ impl Strategy {
 
     /// Read-side latency of the metadata structure consulted before a read
     /// is issued, in **bus cycles** (8 CPU cycles ≈ 3 bus cycles for both
-    /// the Metadata-Cache and COPR, per §V; zero for baseline/oracle).
+    /// the Metadata-Cache and COPR, per §V; zero for baseline/oracle and
+    /// for Cram, which consults nothing before issuing — that is the
+    /// point of implicit metadata).
     pub fn lookup_delay_bus_cycles(&self) -> u64 {
         match self.kind {
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Attache => 3,
@@ -746,6 +862,11 @@ impl Strategy {
         self.meta_cache.as_ref().map(|m| (m.stats(), m.traffic()))
     }
 
+    /// CRAM implicit-metadata counters (Cram only).
+    pub fn cram_stats(&self) -> Option<attache_core::cram::CramStats> {
+        self.cram.as_ref().map(|c| c.stats())
+    }
+
     /// Resets all statistics after warm-up (training state is kept).
     pub fn reset_stats(&mut self) {
         self.stats = StrategyStats::default();
@@ -757,6 +878,9 @@ impl Strategy {
         }
         if let Some(m) = self.meta_cache.as_mut() {
             m.reset_stats();
+        }
+        if let Some(c) = self.cram.as_mut() {
+            c.reset_stats();
         }
     }
 }
@@ -919,5 +1043,80 @@ mod tests {
             strategy(MetadataStrategyKind::MetadataCache).lookup_delay_bus_cycles(),
             3
         );
+        // Implicit metadata consults nothing before issuing.
+        assert_eq!(strategy(MetadataStrategyKind::Cram).lookup_delay_bus_cycles(), 0);
+    }
+
+    #[test]
+    fn cram_reads_are_always_optimistic_half_width() {
+        let mut s = strategy(MetadataStrategyKind::Cram);
+        let b = backend();
+        let rand_base = b.core_base(1);
+        for line in [0u64, 17, rand_base + 3] {
+            let plan = s.plan_read(line, 0, &b);
+            assert!(plan.meta_first.is_none());
+            assert!(plan.side.is_empty());
+            assert!(plan.predicted_compressed.is_none());
+            assert_eq!(
+                plan.data.width,
+                AccessWidth::Half(s.primary_subrank(line)),
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn cram_plain_line_costs_one_corrective_half() {
+        let mut s = strategy(MetadataStrategyKind::Cram);
+        let b = backend();
+        let rand_base = b.core_base(1);
+        let line = (rand_base..rand_base + 500)
+            .find(|&l| !s.actual_compressed(l, &b))
+            .expect("rand region has incompressible lines");
+        let plan = s.plan_read(line, 0, &b);
+        let mut follow = Vec::new();
+        s.on_read_data(line, plan.predicted_compressed, 0, &b, &mut follow);
+        assert_eq!(follow.len(), 1, "exactly one corrective fetch");
+        assert!(matches!(follow[0].origin, Origin::Corrective { .. }));
+        assert!(matches!(
+            follow[0].width,
+            AccessWidth::Half(sr) if sr == s.primary_subrank(line).other()
+        ));
+    }
+
+    #[test]
+    fn cram_marker_hit_needs_no_follow_up() {
+        let mut s = strategy(MetadataStrategyKind::Cram);
+        let b = backend();
+        let comp_line = (0..500u64)
+            .find(|&l| s.actual_compressed(l, &b))
+            .expect("stream region has compressible lines");
+        // Write it back so the read goes through the functional engine.
+        let wp = s.plan_write(comp_line, 0, &b);
+        assert!(matches!(wp.data.width, AccessWidth::Half(_)));
+        assert!(wp.side.is_empty());
+        let plan = s.plan_read(comp_line, 0, &b);
+        let mut follow = Vec::new();
+        s.on_read_data(comp_line, plan.predicted_compressed, 0, &b, &mut follow);
+        assert!(follow.is_empty(), "implicit hit resolves in one access");
+        let cs = s.cram_stats().expect("cram stats present");
+        assert_eq!(cs.compressed_reads, 1);
+        assert_eq!(cs.read_exceptions, 0);
+    }
+
+    #[test]
+    fn cram_stats_are_exclusive_to_the_cram_strategy() {
+        assert!(strategy(MetadataStrategyKind::Cram).cram_stats().is_some());
+        for kind in MetadataStrategyKind::ALL {
+            if kind != MetadataStrategyKind::Cram {
+                assert!(strategy(kind).cram_stats().is_none(), "{kind}");
+            }
+            // Conversely Cram carries none of the rival machinery.
+        }
+        let s = strategy(MetadataStrategyKind::Cram);
+        assert!(s.copr_stats().is_none());
+        assert!(s.blem_stats().is_none());
+        assert!(s.ra_stats().is_none());
+        assert!(s.metadata_cache_stats().is_none());
     }
 }

@@ -958,6 +958,7 @@ impl System {
             blem: self.strategy.blem_stats(),
             ra: self.strategy.ra_stats(),
             metadata_cache: self.strategy.metadata_cache_stats(),
+            cram: self.strategy.cram_stats(),
         }
     }
 }

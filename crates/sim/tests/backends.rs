@@ -22,12 +22,8 @@
 use attache_sim::{BackendKind, MetadataStrategyKind, SimConfig, System};
 use attache_workloads::Profile;
 
-const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 fn quick(strategy: MetadataStrategyKind, backend: BackendKind) -> SimConfig {
     SimConfig::table2_baseline()
@@ -52,6 +48,14 @@ fn every_strategy_completes_on_the_fast_backend() {
             MetadataStrategyKind::Attache => {
                 let copr = r.copr.expect("attache reports copr");
                 assert!(copr.predictions > 0, "COPR must still predict");
+            }
+            MetadataStrategyKind::Cram => {
+                assert!(r.cram.is_some(), "cram reports marker stats");
+                assert_eq!(r.mem.metadata_reads, 0, "implicit metadata costs no reads");
+                // RAND is incompressible, so the optimistic half fetch
+                // finds no marker and every resolved read pays the
+                // corrective second half — at any run length.
+                assert!(r.mem.corrective_reads > 0, "markerless reads must correct");
             }
             _ => {}
         }

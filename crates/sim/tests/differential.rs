@@ -8,12 +8,8 @@
 use attache_sim::{BackendKind, EngineKind, MetadataStrategyKind, SimConfig, System};
 use attache_workloads::{mixes, AccessPattern, Category, DataProfile, Profile, Suite};
 
-const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 fn quick(strategy: MetadataStrategyKind) -> SimConfig {
     SimConfig::table2_baseline()
@@ -260,7 +256,7 @@ fn random_profile(seed: u64) -> Profile {
 fn engines_agree_on_randomized_profiles() {
     for case in 0..4u64 {
         let profile = random_profile(0xA77A_C4E0 ^ case);
-        let strategy = STRATEGIES[(splitmix64(case) % 4) as usize];
+        let strategy = STRATEGIES[(splitmix64(case) % STRATEGIES.len() as u64) as usize];
         assert_engines_agree(strategy, profile, 100 + case);
     }
 }

@@ -175,6 +175,94 @@ fn oracle_catches_every_surfaced_fault() {
     assert!(resolved > 0, "some faults must be detected or absorbed");
 }
 
+/// Half-compressible chaos traffic for the Cram runs: marker-led
+/// compressed lines (targets for `key_swap` and compressed `line_flip`)
+/// and verbatim lines (targets for `cid_forge`'s marker forgery) both
+/// exist in the footprint.
+fn cram_chaos_profile() -> Profile {
+    Profile {
+        name: "cram-fault-chaos",
+        suite: Suite::Synthetic,
+        category: Category::Compressible,
+        data: DataProfile::clustered(0.5),
+        pattern: AccessPattern::Random,
+        footprint_lines: 8192,
+        instructions_per_access: 5.0,
+        write_fraction: 0.45,
+        mlp_limit: None,
+    }
+}
+
+#[test]
+fn cram_marker_faults_are_detected_or_absorbed() {
+    // The Cram analogue of the chaos run. The metadata-bearing state is
+    // the in-line marker word, so the injector's classes map onto it:
+    // `line_flip` corrupts a stored body bit, `cid_forge` forges the
+    // marker onto a verbatim line (the read path must degrade through
+    // the fault-tolerant decode chain — garbage caught by the mirror,
+    // never a panic), and `key_swap` stales exactly the scrambled
+    // compressed lines. `mc_invalidate` has no Metadata-Cache to hit
+    // and must be skipped, and nothing may go undetected.
+    let plan = FaultPlan::new(0xC7A3);
+    for engine in ENGINES {
+        let cfg = chaos_config(engine)
+            .with_strategy(MetadataStrategyKind::Cram)
+            .with_faults(Some(plan.clone()));
+        let (report, obs) = System::run_rate_mode_observed(&cfg, cram_chaos_profile(), 31);
+        assert!(report.bus_cycles > 0);
+        let cram = report.cram.expect("cram runs report marker stats");
+        assert!(cram.reads > 0 && cram.compressed_reads > 0, "{engine:?}");
+        let reg = obs.expect("trace ring arms the observer").registry;
+        let mut detected = 0;
+        let mut absorbed = 0;
+        for class in FaultClass::ALL {
+            let [inj, det, abs, undet] = fault_counters(&reg, class);
+            assert_eq!(undet, 0, "{engine:?} {class}: a fault escaped the oracle");
+            assert!(det + abs <= inj, "{engine:?} {class}: over-resolved");
+            detected += det;
+            absorbed += abs;
+        }
+        for class in [FaultClass::LineFlip, FaultClass::CidForge, FaultClass::KeySwap] {
+            let [inj, ..] = fault_counters(&reg, class);
+            assert!(inj > 0, "{engine:?} {class}: must fire under Cram");
+        }
+        let [mc_inj, ..] = fault_counters(&reg, FaultClass::McInvalidate);
+        assert_eq!(mc_inj, 0, "{engine:?}: no Metadata-Cache exists to invalidate");
+        assert!(detected > 0, "{engine:?}: marker corruption must surface to the oracle");
+        assert!(absorbed > 0, "{engine:?}: rewrites must absorb some corruption");
+    }
+}
+
+#[test]
+fn cram_fault_schedule_is_engine_invariant() {
+    // The engine-invariance contract extended to the Cram injection
+    // paths: identical reports and per-class accounting across engines.
+    let plan = FaultPlan::new(0xC7A4);
+    let mut results = Vec::new();
+    for engine in ENGINES {
+        let cfg = chaos_config(engine)
+            .with_strategy(MetadataStrategyKind::Cram)
+            .with_faults(Some(plan.clone()));
+        let (report, obs) = System::run_rate_mode_observed(&cfg, cram_chaos_profile(), 13);
+        let reg = obs.expect("trace ring arms the observer").registry;
+        let counters: Vec<_> = FaultClass::ALL
+            .into_iter()
+            .map(|c| (c, fault_counters(&reg, c)))
+            .collect();
+        results.push((report, counters));
+    }
+    assert_eq!(
+        results[0].0, results[1].0,
+        "engines diverged under Cram fault injection"
+    );
+    assert_eq!(
+        results[0].1, results[1].1,
+        "per-class Cram fault accounting diverged across engines"
+    );
+    let total: u64 = results[0].1.iter().map(|(_, c)| c[0]).sum();
+    assert!(total > 0, "the Cram chaos run must actually inject faults");
+}
+
 #[test]
 fn faults_off_is_pure() {
     // Purity, both directions. (1) `with_faults(None)` is byte-identical

@@ -26,12 +26,8 @@ use attache_testkit::Gen;
 use attache_workloads::{AccessPattern, Category, DataProfile, Profile, Suite};
 use std::path::PathBuf;
 
-const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Cycle, EngineKind::Event];
 

@@ -17,12 +17,8 @@ use attache_sim::{mirror, EngineKind, MetadataStrategyKind, SimConfig, System};
 use attache_testkit::{CorpusCase, Gen};
 use attache_workloads::{AccessPattern, Category, DataProfile, Profile, Suite};
 
-const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Cycle, EngineKind::Event];
 

@@ -54,12 +54,7 @@ fn quick(strategy: MetadataStrategyKind, engine: EngineKind) -> SimConfig {
 fn observability_knobs_do_not_perturb_the_run_report() {
     let mut g = Gen::new(0x0b5e_c0de);
     let profile = random_profile(&mut g);
-    for strategy in [
-        MetadataStrategyKind::Baseline,
-        MetadataStrategyKind::MetadataCache,
-        MetadataStrategyKind::Attache,
-        MetadataStrategyKind::Oracle,
-    ] {
+    for strategy in MetadataStrategyKind::ALL {
         for engine in ENGINES {
             let off = quick(strategy, engine);
             let on = off.clone().with_epoch(Some(5_000)).with_trace_ring(Some(128));

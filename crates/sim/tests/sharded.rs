@@ -34,12 +34,8 @@ use attache_sim::{
 use attache_testkit::{shrink_vec, CorpusCase, Gen};
 use attache_workloads::{AccessPattern, Category, DataProfile, Profile, Suite};
 
-const STRATEGIES: [MetadataStrategyKind; 4] = [
-    MetadataStrategyKind::Baseline,
-    MetadataStrategyKind::MetadataCache,
-    MetadataStrategyKind::Attache,
-    MetadataStrategyKind::Oracle,
-];
+const STRATEGIES: [MetadataStrategyKind; MetadataStrategyKind::ALL.len()] =
+    MetadataStrategyKind::ALL;
 
 const ENGINES: [EngineKind; 2] = [EngineKind::Cycle, EngineKind::Event];
 

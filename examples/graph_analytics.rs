@@ -28,12 +28,7 @@ fn main() {
     );
 
     let baseline = System::run_rate_mode(&cfg, profile.clone(), 7);
-    for strat in [
-        MetadataStrategyKind::Baseline,
-        MetadataStrategyKind::MetadataCache,
-        MetadataStrategyKind::Attache,
-        MetadataStrategyKind::Oracle,
-    ] {
+    for strat in MetadataStrategyKind::ALL {
         let r = if strat == MetadataStrategyKind::Baseline {
             baseline.clone()
         } else {

@@ -36,7 +36,7 @@ ATTACHE_QUICK=1 ATTACHE_ENGINE=event ATTACHE_MIRROR=1 ATTACHE_CONFORMANCE=1 \
     cargo test -q -p attache-sim -p attache-dram --release
 
 # The observability layer: the golden-stats snapshots pin the full
-# metric registry (4 strategies, byte-identical across both engines
+# metric registry (5 strategies, byte-identical across both engines
 # by the test's own cross-engine assertion) against tests/goldens/,
 # and the purity/ring-dump suite proves the observer never perturbs a
 # RunReport. Run once per engine so the ambient-engine paths stay
@@ -71,6 +71,20 @@ ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release --test faults
 
 echo "=== fault injection under ATTACHE_ENGINE=event ==="
 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release --test faults
+
+# The CRAM rival strategy (implicit in-line markers, no stored
+# metadata): the pinned marker-collision corpus replay proves the
+# escape/exception path non-vacuously, and the exhaustiveness guard
+# fails if any strategy-generic suite (or the bench grid, or the golden
+# set) stops enumerating MetadataStrategyKind::ALL. Run once per engine
+# so the marker decode path stays covered under both schedulers.
+echo "=== CRAM strategy suites under ATTACHE_ENGINE=cycle ==="
+ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release \
+    --test cram_collision --test strategy_exhaustiveness
+
+echo "=== CRAM strategy suites under ATTACHE_ENGINE=event ==="
+ATTACHE_ENGINE=event cargo test -q -p attache-sim --release \
+    --test cram_collision --test strategy_exhaustiveness
 
 # Backend conformance (docs/BACKENDS.md): the dram crate's referee
 # replays identical request streams through the cycle and fast backends

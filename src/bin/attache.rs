@@ -18,12 +18,12 @@ USAGE:
     attache list
         List the available workloads (20 rate-mode benchmarks + 2 mixes).
 
-    attache run --workload <NAME> --strategy <baseline|metadata-cache|attache|ideal>
+    attache run --workload <NAME> --strategy <baseline|metadata-cache|attache|ideal|cram>
                 [--instructions <N>] [--warmup <N>] [--seed <S>] [--cid-bits <B>]
         Run one workload under one metadata strategy and print the report.
 
     attache compare --workload <NAME> [--instructions <N>] [--warmup <N>] [--seed <S>]
-        Run all four strategies on one workload and print a comparison table.
+        Run all five strategies on one workload and print a comparison table.
 ";
 
 #[derive(Debug)]
@@ -75,6 +75,7 @@ fn parse_strategy(name: &str) -> Result<MetadataStrategyKind, String> {
         "metadata-cache" | "metadatacache" | "mc" => MetadataStrategyKind::MetadataCache,
         "attache" => MetadataStrategyKind::Attache,
         "ideal" | "oracle" => MetadataStrategyKind::Oracle,
+        "cram" => MetadataStrategyKind::Cram,
         other => return Err(format!("unknown strategy '{other}'")),
     })
 }
@@ -141,6 +142,14 @@ fn print_report(r: &RunReport) {
             ra.reads, ra.writes
         );
     }
+    if let Some(cram) = r.cram {
+        println!(
+            "cram markers      : {:.1}% implicit hits, {} write exceptions, {} exception reads",
+            100.0 * cram.implicit_hit_rate(),
+            cram.write_exceptions,
+            cram.read_exceptions
+        );
+    }
 }
 
 fn cmd_run(flags: Args) -> Result<(), String> {
@@ -158,12 +167,7 @@ fn cmd_run(flags: Args) -> Result<(), String> {
 fn cmd_compare(flags: Args) -> Result<(), String> {
     let workload = flags.workload.as_deref().ok_or("missing --workload")?;
     let mut reports = Vec::new();
-    for strategy in [
-        MetadataStrategyKind::Baseline,
-        MetadataStrategyKind::MetadataCache,
-        MetadataStrategyKind::Attache,
-        MetadataStrategyKind::Oracle,
-    ] {
+    for strategy in MetadataStrategyKind::ALL {
         let cfg = SimConfig::table2_baseline()
             .with_strategy(strategy)
             .with_instructions(flags.instructions, flags.warmup);

@@ -12,12 +12,7 @@ fn quick(strategy: MetadataStrategyKind) -> SimConfig {
 
 #[test]
 fn same_seed_same_cycles_every_strategy() {
-    for strategy in [
-        MetadataStrategyKind::Baseline,
-        MetadataStrategyKind::MetadataCache,
-        MetadataStrategyKind::Attache,
-        MetadataStrategyKind::Oracle,
-    ] {
+    for strategy in MetadataStrategyKind::ALL {
         let a = System::run_rate_mode(&quick(strategy), Profile::stream(), 11);
         let b = System::run_rate_mode(&quick(strategy), Profile::stream(), 11);
         assert_eq!(a.bus_cycles, b.bus_cycles, "{strategy}");

@@ -1,4 +1,4 @@
-//! Cross-crate invariants of the four metadata strategies, checked on real
+//! Cross-crate invariants of the five metadata strategies, checked on real
 //! end-to-end runs.
 
 use attache::sim::{MetadataStrategyKind, SimConfig, System};
@@ -65,6 +65,44 @@ fn metadata_cache_misses_produce_install_reads() {
     assert!(
         (dram - issued).abs() <= issued * 0.05 + 32.0,
         "dram-side installs {dram} vs issued {issued}"
+    );
+}
+
+#[test]
+fn cram_is_implicit_metadata_only() {
+    // CRAM infers compression state from the in-line marker: there is no
+    // metadata region to read or write, and no BLEM/COPR/Metadata-Cache
+    // machinery. The only extra traffic is corrective second halves and
+    // the exception region (modeled as Replacement-Area traffic).
+    //
+    // A shrunk LLC over a small random footprint forces dirty evictions
+    // *and* re-reads of written-back lines, so both the marker-encode
+    // (write) and marker-decode (read) counters are exercised — at the
+    // default 8MB LLC a short run never evicts and the functional decode
+    // path would be vacuous.
+    let mut cfg = SimConfig::table2_baseline()
+        .with_strategy(MetadataStrategyKind::Cram)
+        .with_instructions(40_000, 8_000);
+    cfg.llc.size_bytes = 128 << 10;
+    let mut profile = Profile::stream();
+    profile.pattern = attache::workloads::AccessPattern::Random;
+    profile.footprint_lines = 8192;
+    profile.write_fraction = 0.45;
+    let r = System::run_rate_mode(&cfg, profile, 5);
+    assert_eq!(r.mem.metadata_reads, 0);
+    assert_eq!(r.mem.metadata_writes, 0);
+    assert!(r.copr.is_none());
+    assert!(r.blem.is_none());
+    assert!(r.metadata_cache.is_none());
+    let cram = r.cram.expect("cram runs report marker stats");
+    assert!(cram.writes > 0);
+    assert!(cram.reads > 0);
+    // STREAM-style clustered data compresses well: the optimistic half
+    // read almost always lands on a marker, so implicit hits dominate.
+    assert!(
+        cram.implicit_hit_rate() > 0.5,
+        "implicit hit rate {:.3}",
+        cram.implicit_hit_rate()
     );
 }
 
