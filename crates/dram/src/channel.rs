@@ -53,6 +53,8 @@ pub struct ChannelStats {
     pub read_latency_count: u64,
     /// Reads served by forwarding from the write queue.
     pub forwarded_reads: u64,
+    /// Background patrol-scrub reads completed (ECC maintenance).
+    pub scrub_reads: u64,
     /// Bus cycles spent in write-drain mode.
     pub drain_cycles: u64,
     /// Write-drain episodes entered.
@@ -62,7 +64,11 @@ pub struct ChannelStats {
 impl ChannelStats {
     /// Total read requests serviced from DRAM (not forwarded).
     pub fn total_reads(&self) -> u64 {
-        self.demand_reads + self.corrective_reads + self.metadata_reads + self.replacement_area_reads
+        self.demand_reads
+            + self.corrective_reads
+            + self.metadata_reads
+            + self.replacement_area_reads
+            + self.scrub_reads
     }
 
     /// Total write requests serviced.
@@ -123,6 +129,7 @@ impl ChannelStats {
         self.read_latency_sum += o.read_latency_sum;
         self.read_latency_count += o.read_latency_count;
         self.forwarded_reads += o.forwarded_reads;
+        self.scrub_reads += o.scrub_reads;
         self.drain_cycles += o.drain_cycles;
         self.drain_episodes += o.drain_episodes;
     }
@@ -980,6 +987,7 @@ impl Channel {
             (AccessKind::Read, Origin::Corrective { .. }) => self.stats.corrective_reads += 1,
             (AccessKind::Read, Origin::MetadataInstall) => self.stats.metadata_reads += 1,
             (AccessKind::Read, Origin::ReplacementArea) => self.stats.replacement_area_reads += 1,
+            (AccessKind::Read, Origin::Scrub) => self.stats.scrub_reads += 1,
             (AccessKind::Read, _) => self.stats.demand_reads += 1,
             (AccessKind::Write, Origin::MetadataWriteback) => self.stats.metadata_writes += 1,
             (AccessKind::Write, Origin::ReplacementArea) => self.stats.replacement_area_writes += 1,

@@ -1,0 +1,281 @@
+//! (72,64) SEC-DED Hamming code, the classic chipkill-free server ECC.
+//!
+//! Every 64-bit data word is protected by 8 check bits: a Hamming code
+//! over codeword positions `1..=71` (the seven powers of two are the
+//! Hamming check bits, the remaining 64 positions carry data) plus an
+//! overall-parity bit `p0` that extends single-error correction with
+//! double-error *detection*. A 64-byte line therefore carries 8 check
+//! bytes — exactly the extra ×8 chip of a 72-bit ECC DIMM.
+//!
+//! The codec is pure data-plane math: no clocking, no state. The
+//! simulator's integrity engine (in the sim crate) owns *when* words are
+//! encoded and checked; the timing models account the widened-bus cost.
+//!
+//! Decode outcomes per word:
+//!
+//! * overall parity even, syndrome zero → [`WordDecode::Clean`];
+//! * overall parity odd → a single-bit error at the syndrome position
+//!   (zero meaning `p0` itself) — corrected, [`WordDecode::Corrected`];
+//! * overall parity even, syndrome nonzero → a double-bit error,
+//!   detected but uncorrectable, [`WordDecode::Uncorrectable`]. Reads
+//!   must treat the word as poisoned.
+
+/// Codeword positions `1..=71` that carry data bits, in data-bit order.
+/// Skips the powers of two (the Hamming check-bit positions).
+const DATA_POS: [u8; 64] = {
+    let mut table = [0u8; 64];
+    let mut pos: u8 = 1;
+    let mut i = 0;
+    while i < 64 {
+        if !pos.is_power_of_two() {
+            table[i] = pos;
+            i += 1;
+        }
+        pos += 1;
+    }
+    table
+};
+
+/// Inverse of [`DATA_POS`]: codeword position → data-bit index, with
+/// `0xFF` marking the check-bit positions (and position 0 = `p0`).
+const POS_TO_DATA: [u8; 72] = {
+    let mut table = [0xFFu8; 72];
+    let mut i = 0;
+    while i < 64 {
+        table[DATA_POS[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
+/// The outcome of decoding one protected 64-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordDecode {
+    /// Syndrome clean: the stored word is exactly what was written.
+    Clean,
+    /// A single-bit error (data, check, or overall-parity bit) was
+    /// corrected; the returned data is trustworthy.
+    Corrected,
+    /// A multi-bit error was detected; the data cannot be trusted and
+    /// must be treated as poisoned.
+    Uncorrectable,
+}
+
+/// The 7-bit Hamming syndrome contribution of the data bits alone:
+/// bit `k` is the parity of the data bits whose codeword position has
+/// bit `k` set.
+fn data_syndrome(data: u64) -> u8 {
+    let mut syn = 0u8;
+    let mut d = data;
+    while d != 0 {
+        let i = d.trailing_zeros() as usize;
+        syn ^= DATA_POS[i];
+        d &= d - 1;
+    }
+    syn
+}
+
+/// Encodes one 64-bit word into its 8-bit check byte.
+///
+/// Layout: bit 0 is the overall-parity bit `p0`; bits `1..=7` are the
+/// Hamming check bits for positions `1, 2, 4, …, 64` respectively.
+pub fn encode_word(data: u64) -> u8 {
+    let hamming = data_syndrome(data);
+    let p0 = (data.count_ones() + u32::from(hamming).count_ones()) & 1;
+    (hamming << 1) | p0 as u8
+}
+
+/// Decodes one possibly-corrupted word against its (possibly-corrupted)
+/// check byte, returning the corrected data and the verdict. On
+/// [`WordDecode::Uncorrectable`] the returned data is the raw stored
+/// word, unmodified.
+pub fn decode_word(data: u64, check: u8) -> (u64, WordDecode) {
+    let stored_hamming = check >> 1;
+    let syndrome = data_syndrome(data) ^ stored_hamming;
+    let parity_odd = (data.count_ones() + u32::from(check).count_ones()) & 1 == 1;
+    match (parity_odd, syndrome) {
+        (false, 0) => (data, WordDecode::Clean),
+        (true, pos) => {
+            // One flipped bit at codeword position `pos` (0 = p0). Only
+            // a flip in a data position changes the delivered word.
+            match POS_TO_DATA.get(pos as usize) {
+                Some(&idx) if idx != 0xFF => (data ^ (1u64 << idx), WordDecode::Corrected),
+                Some(_) => (data, WordDecode::Corrected),
+                // A syndrome past the codeword means ≥3 flips conspired;
+                // refuse to "correct" into garbage.
+                None => (data, WordDecode::Uncorrectable),
+            }
+        }
+        (false, _) => (data, WordDecode::Uncorrectable),
+    }
+}
+
+/// Per-word decode masks for one 64-byte line (bit `w` refers to the
+/// little-endian 64-bit word at bytes `8w..8w+8`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineDecode {
+    /// Words that needed (and received) a single-bit correction.
+    pub corrected: u8,
+    /// Words with detected-uncorrectable errors; their bytes are poison.
+    pub uncorrectable: u8,
+}
+
+impl LineDecode {
+    /// Whether the whole line decoded without any error.
+    pub fn is_clean(&self) -> bool {
+        self.corrected == 0 && self.uncorrectable == 0
+    }
+
+    /// Whether any word is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.uncorrectable != 0
+    }
+}
+
+/// Encodes a 64-byte line into its 8 check bytes (one per 64-bit word).
+pub fn encode_line(data: &[u8; 64]) -> [u8; 8] {
+    let mut check = [0u8; 8];
+    for (w, c) in check.iter_mut().enumerate() {
+        *c = encode_word(word_at(data, w));
+    }
+    check
+}
+
+/// Decodes a 64-byte line in place against its check bytes, correcting
+/// every single-bit word error (in both `data` and `check`) and
+/// reporting per-word outcomes. Uncorrectable words are left as stored.
+pub fn decode_line(data: &mut [u8; 64], check: &mut [u8; 8]) -> LineDecode {
+    let mut out = LineDecode::default();
+    for w in 0..8 {
+        let (fixed, verdict) = decode_word(word_at(data, w), check[w]);
+        match verdict {
+            WordDecode::Clean => {}
+            WordDecode::Corrected => {
+                out.corrected |= 1 << w;
+                data[w * 8..w * 8 + 8].copy_from_slice(&fixed.to_le_bytes());
+                check[w] = encode_word(fixed);
+            }
+            WordDecode::Uncorrectable => out.uncorrectable |= 1 << w,
+        }
+    }
+    out
+}
+
+fn word_at(data: &[u8; 64], w: usize) -> u64 {
+    u64::from_le_bytes(data[w * 8..w * 8 + 8].try_into().expect("8-byte slice"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A few structured + pseudo-random words exercising dense, sparse
+    /// and alternating bit patterns.
+    fn corpus() -> Vec<u64> {
+        let mut v = vec![
+            0,
+            u64::MAX,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x5555_5555_5555_5555,
+            1,
+            1 << 63,
+            0xDEAD_BEEF_CAFE_F00D,
+        ];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            v.push(x);
+        }
+        v
+    }
+
+    /// Flips codeword bit `pos` (0 = p0, powers of two = check bits,
+    /// rest = data bits) in a (data, check) pair.
+    fn flip(data: &mut u64, check: &mut u8, pos: usize) {
+        match POS_TO_DATA[pos] {
+            0xFF if pos == 0 => *check ^= 1,
+            0xFF => *check ^= 1 << (pos.trailing_zeros() + 1),
+            idx => *data ^= 1 << idx,
+        }
+    }
+
+    #[test]
+    fn data_positions_are_the_64_non_powers_of_two() {
+        assert_eq!(DATA_POS[0], 3);
+        assert_eq!(DATA_POS[63], 71);
+        for w in DATA_POS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for p in DATA_POS {
+            assert!(!p.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for data in corpus() {
+            let check = encode_word(data);
+            assert_eq!(decode_word(data, check), (data, WordDecode::Clean));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_of_all_72_is_corrected() {
+        for data in corpus() {
+            let check = encode_word(data);
+            for pos in 0..72 {
+                let (mut d, mut c) = (data, check);
+                flip(&mut d, &mut c, pos);
+                let (fixed, verdict) = decode_word(d, c);
+                assert_eq!(verdict, WordDecode::Corrected, "pos {pos}");
+                assert_eq!(fixed, data, "pos {pos} must restore the data");
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected_not_miscorrected() {
+        for data in corpus().into_iter().take(8) {
+            let check = encode_word(data);
+            for a in 0..72 {
+                for b in (a + 1)..72 {
+                    let (mut d, mut c) = (data, check);
+                    flip(&mut d, &mut c, a);
+                    flip(&mut d, &mut c, b);
+                    let (out, verdict) = decode_word(d, c);
+                    assert_eq!(verdict, WordDecode::Uncorrectable, "pair ({a},{b})");
+                    assert_eq!(out, d, "uncorrectable words pass through raw");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_roundtrip_and_inplace_correction() {
+        let mut data = [0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let pristine = data;
+        let mut check = encode_line(&data);
+        assert!(decode_line(&mut data, &mut check).is_clean());
+
+        // One data-bit flip in word 2 and one check-bit flip in word 5.
+        data[17] ^= 0x40;
+        check[5] ^= 0b0000_0100;
+        let d = decode_line(&mut data, &mut check);
+        assert_eq!(d.corrected, (1 << 2) | (1 << 5));
+        assert_eq!(d.uncorrectable, 0);
+        assert_eq!(data, pristine, "data restored in place");
+        assert_eq!(check, encode_line(&pristine), "check restored in place");
+
+        // A double flip inside word 7 poisons only word 7.
+        data[56] ^= 1;
+        data[57] ^= 1;
+        let d = decode_line(&mut data, &mut check);
+        assert_eq!(d.uncorrectable, 1 << 7);
+        assert!(d.is_poisoned());
+    }
+}

@@ -299,6 +299,7 @@ impl MemoryBackend for FastMemory {
                     (AccessKind::Read, Origin::ReplacementArea) => {
                         ch.stats.replacement_area_reads += 1;
                     }
+                    (AccessKind::Read, Origin::Scrub) => ch.stats.scrub_reads += 1,
                     (AccessKind::Read, _) => ch.stats.demand_reads += 1,
                     (AccessKind::Write, Origin::MetadataWriteback) => {
                         ch.stats.metadata_writes += 1;

@@ -35,18 +35,22 @@ pub mod bank;
 pub mod channel;
 pub mod config;
 pub mod conformance;
+pub mod ecc;
 pub mod fast;
 pub mod power;
 pub mod rank;
 pub mod referee;
 pub mod request;
 pub mod shard;
+pub mod soft_error;
 
 pub use backend::{
     new_backend, new_backend_with_shards, BackendKind, MemoryBackend, UnknownBackend,
 };
 pub use shard::ShardedMemory;
 pub use channel::{Channel, ChannelStats, QueueFull};
+pub use ecc::{decode_line, encode_line, LineDecode, WordDecode};
+pub use soft_error::SoftErrorProcess;
 pub use fast::FastMemory;
 pub use referee::{referee_replay, RefereeConfig, RefereeReport, ReplaySummary, Tolerance};
 pub use config::{AddressMapping, DramConfig, Location, Timing};

@@ -80,6 +80,9 @@ pub enum Origin {
         /// The core whose demand read is being corrected.
         core: u8,
     },
+    /// A background patrol-scrub read (ECC maintenance, not demand
+    /// traffic and not metadata overhead).
+    Scrub,
 }
 
 impl Origin {
@@ -154,6 +157,7 @@ mod tests {
         assert!(!Origin::Demand { core: 0 }.is_metadata_overhead());
         assert!(!Origin::Corrective { core: 0 }.is_metadata_overhead());
         assert!(!Origin::Writeback.is_metadata_overhead());
+        assert!(!Origin::Scrub.is_metadata_overhead());
     }
 
     #[test]

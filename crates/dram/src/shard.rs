@@ -218,6 +218,10 @@ enum Op {
     ResetStats,
     Query(Query),
     Shutdown,
+    /// Chaos hook: panic on the worker thread with the given message
+    /// before any reply is sent, exercising the facade's hung-worker
+    /// path end-to-end (see [`ShardedMemory::chaos_panic`]).
+    ChaosPanic(String),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -263,6 +267,7 @@ fn worker_loop(mut group: ChannelGroup, rx: Receiver<Cmd>, tx: Sender<Reply>) {
         let mut mutated = false;
         let payload = match cmd.op {
             Op::Shutdown => return,
+            Op::ChaosPanic(msg) => panic!("{msg}"),
             Op::Advance { tick } => {
                 match tick {
                     Some(TickKind::Cycle) => group.tick(),
@@ -554,6 +559,29 @@ impl ShardedMemory {
     /// The effective shard count (after clamping to the channel count).
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Chaos-test hook: makes the worker owning shard `shard` (in
+    /// `1..shard_count()`; shard 0 runs inline and has no worker) panic
+    /// with exactly `msg`. The facade joins the dead worker and re-raises
+    /// its payload here via `resume_unwind`, so this call never returns —
+    /// callers pin the behavior with `std::panic::catch_unwind`.
+    ///
+    /// # Panics
+    ///
+    /// Always — with the worker's own panic payload (`msg`).
+    pub fn chaos_panic(&mut self, shard: usize, msg: &str) -> ! {
+        assert!(
+            (1..self.shards).contains(&shard),
+            "chaos_panic targets a worker shard (1..{})",
+            self.shards
+        );
+        let inner = self.inner.get_mut();
+        let s = shard - 1;
+        inner.send(s, Op::ChaosPanic(msg.to_string()));
+        // The worker dies before replying; recv joins it and re-raises.
+        inner.recv(s);
+        unreachable!("recv from a chaos-panicked worker must diverge")
     }
 
     /// Which shard owns global channel `c`.

@@ -256,6 +256,19 @@ pub struct SimConfig {
     /// which the resilient grid executor converts into a structured
     /// timed-out outcome.
     pub tick_budget: Option<u64>,
+    /// Device soft-error rate in ppm of line-touches
+    /// (`ATTACHE_BER=<ppm>`, unset/`0` = no soft errors; see
+    /// [`crate::integrity`]). Deterministic for a fixed seed.
+    pub ber_ppm: Option<u64>,
+    /// Model the (72,64) SEC-DED ECC pipeline (`ATTACHE_ECC=1`):
+    /// per-word encode on writeback, syndrome-check/correct on read
+    /// completion, a +1 bus-cycle check latency on reads, and poison
+    /// propagation with per-strategy recovery on uncorrectable errors.
+    pub ecc: bool,
+    /// Background patrol-scrub period in bus cycles
+    /// (`ATTACHE_SCRUB=<cycles>`, unset/`0` = no scrub): every period,
+    /// an idle controller walks one line, correcting what SEC-DED can.
+    pub scrub_period: Option<u64>,
     /// Channel shards for the cycle backend (`ATTACHE_SHARDS=<n>`,
     /// unset/`0`/`1` = serial): the DRAM channels are partitioned across
     /// `n` worker threads that rendezvous at every executed tick.
@@ -290,8 +303,19 @@ impl SimConfig {
             mirror_poison: false,
             faults: crate::faults::FaultPlan::from_env(),
             tick_budget: crate::env::env_u64_opt("ATTACHE_JOB_TICK_BUDGET"),
+            ber_ppm: crate::env::env_u64_opt("ATTACHE_BER"),
+            ecc: ecc_from_env(),
+            scrub_period: crate::env::env_u64_opt("ATTACHE_SCRUB"),
             shards: shards_from_env(),
         }
+    }
+
+    /// Whether any integrity knob is armed (soft errors, ECC, scrub) —
+    /// when false, no [`IntegrityEngine`](crate::integrity::IntegrityEngine)
+    /// is constructed and results are bit-identical to an
+    /// integrity-free build.
+    pub fn integrity_armed(&self) -> bool {
+        self.ecc || self.ber_ppm.is_some() || self.scrub_period.is_some()
     }
 
     /// The production-scale configuration the ROADMAP targets: 8 DRAM
@@ -383,6 +407,29 @@ impl SimConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Same configuration with an explicit soft-error rate in ppm of
+    /// line-touches (overriding whatever `ATTACHE_BER` selected; `None`
+    /// disables soft errors).
+    pub fn with_ber(mut self, ppm: Option<u64>) -> Self {
+        self.ber_ppm = ppm.filter(|&p| p > 0);
+        self
+    }
+
+    /// Same configuration with the SEC-DED ECC pipeline toggled
+    /// (overriding whatever `ATTACHE_ECC` selected).
+    pub fn with_ecc(mut self, ecc: bool) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// Same configuration with an explicit patrol-scrub period in bus
+    /// cycles (overriding whatever `ATTACHE_SCRUB` selected; `None`
+    /// disables scrubbing).
+    pub fn with_scrub(mut self, period: Option<u64>) -> Self {
+        self.scrub_period = period.filter(|&p| p > 0);
+        self
+    }
 }
 
 /// Reads `ATTACHE_SHARDS`: the channel-shard count for the cycle
@@ -404,6 +451,17 @@ pub fn shards_from_env() -> usize {
 /// toggle the variable between config constructions.
 fn mirror_from_env() -> bool {
     match std::env::var("ATTACHE_MIRROR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Reads `ATTACHE_ECC`: any non-empty value other than `0` enables the
+/// modeled SEC-DED ECC pipeline for configs built afterwards.
+/// Deliberately *not* cached in a `OnceLock` — tests toggle the
+/// variable between config constructions.
+fn ecc_from_env() -> bool {
+    match std::env::var("ATTACHE_ECC") {
         Ok(v) => !v.is_empty() && v != "0",
         Err(_) => false,
     }

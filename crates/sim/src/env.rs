@@ -30,9 +30,11 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 pub const KNOWN_KNOBS: &[&str] = &[
     "ATTACHE_BACKEND",
     "ATTACHE_BENCH_REPEAT",
+    "ATTACHE_BER",
     "ATTACHE_BLESS",
     "ATTACHE_COMPRESS_MEMO",
     "ATTACHE_CONFORMANCE",
+    "ATTACHE_ECC",
     "ATTACHE_ENGINE",
     "ATTACHE_ENV_KNOB_TEST",
     "ATTACHE_EPOCH",
@@ -46,6 +48,7 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ATTACHE_QUICK",
     "ATTACHE_RESULTS",
     "ATTACHE_RESUME",
+    "ATTACHE_SCRUB",
     "ATTACHE_SEED",
     "ATTACHE_SHARDS",
     "ATTACHE_TRACE",

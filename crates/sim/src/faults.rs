@@ -184,6 +184,20 @@ impl FaultStats {
     pub fn total_undetected(&self) -> u64 {
         self.counters.iter().map(|c| c.undetected).sum()
     }
+
+    /// The accounting invariant, checkable at any instant: every outcome
+    /// was once an injection, so `injected >= detected + absorbed +
+    /// undetected` per class (the remainder is still latent). `skipped`
+    /// is deliberately *outside* the inequality — it counts scheduled
+    /// events that never applied a perturbation, not injections with a
+    /// pending fate. Returns the first violating class, `None` when the
+    /// books balance.
+    pub fn accounting_violation(&self) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|&class| {
+            let c = self.get(class);
+            c.injected < c.detected + c.absorbed + c.undetected
+        })
+    }
 }
 
 /// A seeded fault-injection schedule.
@@ -403,12 +417,26 @@ impl FaultInjector {
         self.next_tick
     }
 
+    /// Debug-build check of [`FaultStats::accounting_violation`] after
+    /// every counter mutation: an outcome recorded without a matching
+    /// injection is a classification bug, caught at the mutation that
+    /// introduced it rather than at run end.
+    fn debug_check_accounting(&self) {
+        debug_assert!(
+            self.stats.accounting_violation().is_none(),
+            "fault accounting violated for class {:?}: {:?}",
+            self.stats.accounting_violation(),
+            self.stats
+        );
+    }
+
     /// Bookkeeping hook for every strategy write: tracks targetable
     /// lines and absorbs any pending corruption (the corrupted image was
     /// just overwritten, so nothing can ever read it).
     pub fn note_write(&mut self, line: u64, collision: bool) {
         if let Some(class) = self.pending.remove(&line) {
             self.stats.get_mut(class).absorbed += 1;
+            self.debug_check_accounting();
         }
         if self.written_set.insert(line) {
             self.written.push(line);
@@ -430,6 +458,7 @@ impl FaultInjector {
         match self.pending.remove(&line) {
             Some(class) => {
                 self.stats.get_mut(class).detected += 1;
+                self.debug_check_accounting();
                 true
             }
             None => false,
@@ -443,6 +472,7 @@ impl FaultInjector {
     pub fn note_clean_read(&mut self, line: u64) {
         if let Some(class) = self.pending.remove(&line) {
             self.stats.get_mut(class).undetected += 1;
+            self.debug_check_accounting();
         }
     }
 
@@ -451,6 +481,7 @@ impl FaultInjector {
     pub fn note_unverified_read(&mut self, line: u64) {
         if let Some(class) = self.pending.remove(&line) {
             self.stats.get_mut(class).undetected += 1;
+            self.debug_check_accounting();
         }
     }
 
@@ -491,6 +522,7 @@ impl FaultInjector {
         if !injected {
             self.stats.get_mut(class).skipped += 1;
         }
+        self.debug_check_accounting();
     }
 
     /// Draws a start index and linearly probes up to [`MAX_PROBES`]
@@ -1040,6 +1072,8 @@ mod tests {
     #[test]
     fn mismatch_attributes_to_first_fault() {
         let mut inj = FaultInjector::new(FaultPlan::new(1));
+        inj.stats.get_mut(FaultClass::RaCorrupt).injected += 1;
+        inj.stats.get_mut(FaultClass::LineFlip).injected += 1;
         inj.mark_pending(7, FaultClass::RaCorrupt);
         inj.mark_pending(7, FaultClass::LineFlip); // second fault: ignored
         assert!(inj.note_mismatch(7));
@@ -1051,9 +1085,34 @@ mod tests {
     #[test]
     fn unverified_read_counts_undetected() {
         let mut inj = FaultInjector::new(FaultPlan::new(1));
+        inj.stats.get_mut(FaultClass::CidForge).injected += 1;
         inj.mark_pending(5, FaultClass::CidForge);
         inj.note_unverified_read(5);
         assert_eq!(inj.stats().get(FaultClass::CidForge).undetected, 1);
+    }
+
+    #[test]
+    fn accounting_violation_flags_imbalance_but_not_skips() {
+        let mut s = FaultStats::default();
+        assert_eq!(s.accounting_violation(), None);
+        let c = s.get_mut(FaultClass::RaCorrupt);
+        c.injected = 2;
+        c.detected = 1;
+        c.absorbed = 1;
+        assert_eq!(s.accounting_violation(), None, "books balance exactly");
+        s.get_mut(FaultClass::RaCorrupt).undetected = 1;
+        assert_eq!(
+            s.accounting_violation(),
+            Some(FaultClass::RaCorrupt),
+            "an outcome without an injection is a violation"
+        );
+        s.get_mut(FaultClass::RaCorrupt).undetected = 0;
+        s.get_mut(FaultClass::RaCorrupt).skipped = 100;
+        assert_eq!(
+            s.accounting_violation(),
+            None,
+            "skipped events are not injections and stay outside the inequality"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod core_model;
 pub mod env;
 pub mod faults;
 pub mod inline;
+pub mod integrity;
 pub mod mirror;
 pub mod observe;
 pub mod report_io;
@@ -42,6 +43,7 @@ pub use config::{
 pub use env::{env_u64, env_u64_opt, unknown_knobs, KNOWN_KNOBS};
 pub use faults::{FaultClass, FaultCounters, FaultPlan, FaultStats, TickBudgetExceeded};
 pub use inline::InlineVec;
+pub use integrity::{EccVerdict, IntegrityEngine, IntegrityStats};
 pub use mirror::{MirrorGlobalStats, MirrorMismatch, MirrorOracle, MirrorStats};
 pub use observe::Observation;
 pub use stats::{RunReport, BUS_CYCLE_NS};

@@ -288,5 +288,36 @@ impl Observer {
                 r.set_counter(&format!("{p}.skipped"), c.skipped);
             }
         }
+
+        // integrity.* — only when an integrity knob armed the engine, so
+        // integrity-off runs export exactly the same key set as before.
+        if let Some(i) = strategy.integrity_stats() {
+            r.set_counter("integrity.reads_checked", i.reads_checked);
+            r.set_counter("integrity.injected_flips", i.injected_flips);
+            r.set_counter("integrity.sticky_lines", i.sticky_lines);
+            for sr in 0..2 {
+                r.set_counter(&format!("integrity.subrank{sr}.corrected"), i.corrected[sr]);
+                r.set_counter(
+                    &format!("integrity.subrank{sr}.uncorrectable"),
+                    i.uncorrectable[sr],
+                );
+            }
+            r.set_counter("integrity.recovered", i.recovered);
+            r.set_counter("integrity.sdc_averted", i.sdc_averted);
+            r.set_counter("integrity.data_loss", i.data_loss);
+            r.set_counter(
+                "integrity.silent_corruption_reads",
+                i.silent_corruption_reads,
+            );
+            r.set_counter(
+                "integrity.corrupted_bytes_delivered",
+                i.corrupted_bytes_delivered,
+            );
+            r.set_counter("integrity.scrub.checks", i.scrub_checks);
+            r.set_counter("integrity.scrub.corrected", i.scrub_corrected);
+            r.set_counter("integrity.scrub.uncorrectable", i.scrub_uncorrectable);
+            r.set_counter("integrity.scrub.skipped_busy", i.scrub_skipped_busy);
+            r.set_counter("integrity.ecc_check_bytes", i.ecc_check_bytes);
+        }
     }
 }

@@ -76,6 +76,12 @@ pub fn to_text(report: &RunReport, key: &str) -> String {
     push_u64(&mut s, "mem.forwarded_reads", m.forwarded_reads);
     push_u64(&mut s, "mem.drain_cycles", m.drain_cycles);
     push_u64(&mut s, "mem.drain_episodes", m.drain_episodes);
+    // Emitted only when nonzero so integrity-off reports stay
+    // byte-identical to their pre-scrub goldens; the parser defaults
+    // a missing line to 0.
+    if m.scrub_reads != 0 {
+        push_u64(&mut s, "mem.scrub_reads", m.scrub_reads);
+    }
 
     let e = &report.energy;
     push_f64(&mut s, "energy.act_pre_pj", e.act_pre_pj);
@@ -123,6 +129,33 @@ pub fn to_text(report: &RunReport, key: &str) -> String {
         push_u64(&mut s, "cram.reads", c.reads);
         push_u64(&mut s, "cram.compressed_reads", c.compressed_reads);
         push_u64(&mut s, "cram.read_exceptions", c.read_exceptions);
+    }
+    if let Some(i) = &report.integrity {
+        push_u64(&mut s, "integrity.reads_checked", i.reads_checked);
+        push_u64(&mut s, "integrity.injected_flips", i.injected_flips);
+        push_u64(&mut s, "integrity.sticky_lines", i.sticky_lines);
+        push_u64(&mut s, "integrity.corrected0", i.corrected[0]);
+        push_u64(&mut s, "integrity.corrected1", i.corrected[1]);
+        push_u64(&mut s, "integrity.uncorrectable0", i.uncorrectable[0]);
+        push_u64(&mut s, "integrity.uncorrectable1", i.uncorrectable[1]);
+        push_u64(&mut s, "integrity.recovered", i.recovered);
+        push_u64(&mut s, "integrity.sdc_averted", i.sdc_averted);
+        push_u64(&mut s, "integrity.data_loss", i.data_loss);
+        push_u64(
+            &mut s,
+            "integrity.silent_corruption_reads",
+            i.silent_corruption_reads,
+        );
+        push_u64(
+            &mut s,
+            "integrity.corrupted_bytes_delivered",
+            i.corrupted_bytes_delivered,
+        );
+        push_u64(&mut s, "integrity.scrub_checks", i.scrub_checks);
+        push_u64(&mut s, "integrity.scrub_corrected", i.scrub_corrected);
+        push_u64(&mut s, "integrity.scrub_uncorrectable", i.scrub_uncorrectable);
+        push_u64(&mut s, "integrity.scrub_skipped_busy", i.scrub_skipped_busy);
+        push_u64(&mut s, "integrity.ecc_check_bytes", i.ecc_check_bytes);
     }
     s
 }
@@ -260,6 +293,35 @@ pub fn from_text(text: &str, expected_key: Option<&str>) -> Option<RunReport> {
             read_exceptions: f.u64("cram.read_exceptions")?,
         })
     });
+    let integrity = f.u64("integrity.reads_checked").map(|reads_checked| {
+        Some(crate::integrity::IntegrityStats {
+            reads_checked,
+            injected_flips: f.u64("integrity.injected_flips")?,
+            sticky_lines: f.u64("integrity.sticky_lines")?,
+            corrected: [
+                f.u64("integrity.corrected0")?,
+                f.u64("integrity.corrected1")?,
+            ],
+            uncorrectable: [
+                f.u64("integrity.uncorrectable0")?,
+                f.u64("integrity.uncorrectable1")?,
+            ],
+            recovered: f.u64("integrity.recovered")?,
+            sdc_averted: f.u64("integrity.sdc_averted")?,
+            data_loss: f.u64("integrity.data_loss")?,
+            silent_corruption_reads: f.u64("integrity.silent_corruption_reads")?,
+            corrupted_bytes_delivered: f.u64("integrity.corrupted_bytes_delivered")?,
+            scrub_checks: f.u64("integrity.scrub_checks")?,
+            scrub_corrected: f.u64("integrity.scrub_corrected")?,
+            scrub_uncorrectable: f.u64("integrity.scrub_uncorrectable")?,
+            scrub_skipped_busy: f.u64("integrity.scrub_skipped_busy")?,
+            ecc_check_bytes: f.u64("integrity.ecc_check_bytes")?,
+        })
+    });
+    let integrity = match integrity {
+        Some(None) => return None,
+        other => other.flatten(),
+    };
     // An optional section whose presence flag parsed but whose body didn't
     // is a malformed file, not a missing section.
     let (copr, blem, ra, metadata_cache, cram) = match (copr, blem, ra, metadata_cache, cram) {
@@ -302,6 +364,9 @@ pub fn from_text(text: &str, expected_key: Option<&str>) -> Option<RunReport> {
             forwarded_reads: f.u64("mem.forwarded_reads")?,
             drain_cycles: f.u64("mem.drain_cycles")?,
             drain_episodes: f.u64("mem.drain_episodes")?,
+            // Absent in pre-scrub reports (and in any run with no scrub
+            // traffic): default 0, never a parse failure.
+            scrub_reads: f.u64("mem.scrub_reads").unwrap_or(0),
         },
         energy: EnergyBreakdown {
             act_pre_pj: f.f64("energy.act_pre_pj")?,
@@ -323,6 +388,7 @@ pub fn from_text(text: &str, expected_key: Option<&str>) -> Option<RunReport> {
         ra,
         metadata_cache,
         cram,
+        integrity,
     })
 }
 
@@ -371,6 +437,7 @@ mod tests {
             ra: None,
             metadata_cache: None,
             cram: None,
+            integrity: None,
         };
         if strategy == MetadataStrategyKind::Attache {
             r.copr = Some(CoprStats {
@@ -425,6 +492,50 @@ mod tests {
             let back = from_text(&text, Some("test-key")).expect("parses");
             assert_eq!(back, r, "{strategy}");
         }
+    }
+
+    #[test]
+    fn integrity_section_and_scrub_reads_roundtrip() {
+        let mut r = sample(MetadataStrategyKind::Attache);
+        r.mem.scrub_reads = 17;
+        r.integrity = Some(crate::integrity::IntegrityStats {
+            reads_checked: 1000,
+            injected_flips: 12,
+            sticky_lines: 2,
+            corrected: [5, 4],
+            uncorrectable: [1, 0],
+            recovered: 1,
+            sdc_averted: 0,
+            data_loss: 0,
+            silent_corruption_reads: 0,
+            corrupted_bytes_delivered: 0,
+            scrub_checks: 17,
+            scrub_corrected: 2,
+            scrub_uncorrectable: 0,
+            scrub_skipped_busy: 3,
+            ecc_check_bytes: 5_120,
+        });
+        let text = to_text(&r, "k");
+        assert!(text.contains("mem.scrub_reads 17"));
+        let back = from_text(&text, Some("k")).expect("parses");
+        assert_eq!(back, r);
+        // A present section flag with a truncated body is malformed, not
+        // a missing section.
+        let cut = text
+            .lines()
+            .filter(|l| !l.starts_with("integrity.ecc_check_bytes"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(from_text(&cut, Some("k")).is_none());
+    }
+
+    #[test]
+    fn integrity_off_report_has_no_integrity_lines() {
+        // The golden-compatibility contract: a run with every integrity
+        // knob off serializes without a single new key.
+        let text = to_text(&sample(MetadataStrategyKind::Baseline), "k");
+        assert!(!text.contains("integrity."));
+        assert!(!text.contains("scrub_reads"));
     }
 
     #[test]

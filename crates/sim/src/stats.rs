@@ -9,6 +9,7 @@ use attache_core::replacement_area::ReplacementAreaStats;
 use attache_dram::{ChannelStats, EnergyBreakdown};
 
 use crate::config::MetadataStrategyKind;
+use crate::integrity::IntegrityStats;
 use crate::strategy::StrategyStats;
 
 /// Memory-bus period at 1600 MHz, in nanoseconds.
@@ -43,6 +44,11 @@ pub struct RunReport {
     pub metadata_cache: Option<(CacheStats, MetadataTraffic)>,
     /// CRAM implicit-marker counters (Cram runs only).
     pub cram: Option<CramStats>,
+    /// Device-level soft-error / ECC counters (only when an integrity
+    /// knob — `ATTACHE_BER`, `ATTACHE_ECC` or `ATTACHE_SCRUB` — armed
+    /// the engine; `None` keeps integrity-off reports byte-identical to
+    /// their pre-integrity goldens).
+    pub integrity: Option<IntegrityStats>,
 }
 
 impl RunReport {
@@ -146,6 +152,7 @@ mod tests {
             ra: None,
             metadata_cache: None,
             cram: None,
+            integrity: None,
         }
     }
 

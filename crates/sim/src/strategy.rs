@@ -55,6 +55,7 @@ use std::cell::RefCell;
 use crate::backend::MemoryBackend;
 use crate::config::MetadataStrategyKind;
 use crate::faults::{FaultInjector, FaultOutcome, FaultPlan, FaultStats, FaultTargets};
+use crate::integrity::{EccVerdict, IntegrityEngine, IntegrityStats};
 use crate::mirror::{MirrorOracle, MirrorStats};
 
 /// A request the strategy wants issued (the system assigns ids/cycles).
@@ -138,6 +139,9 @@ pub struct Strategy {
     // Optional fault injector (see crate::faults); None = chaos off and
     // zero per-access overhead.
     faults: Option<Box<FaultInjector>>,
+    // Optional device-integrity engine (see crate::integrity); None =
+    // every integrity knob off and zero per-access overhead.
+    integrity: Option<Box<IntegrityEngine>>,
 }
 
 impl Strategy {
@@ -182,6 +186,7 @@ impl Strategy {
             mirror: None,
             trace: None,
             faults: None,
+            integrity: None,
         }
     }
 
@@ -227,6 +232,40 @@ impl Strategy {
             c.set_fault_tolerant_decode(true);
         }
         self.faults = Some(Box::new(FaultInjector::new(plan)));
+    }
+
+    /// Arms the device-integrity engine (see [`crate::integrity`]):
+    /// soft errors at `ber_ppm` ppm of line-touches (0 = none) below a
+    /// modeled SEC-DED ECC layer (`ecc`), with poison propagation and
+    /// per-strategy recovery on uncorrectable reads.
+    pub fn enable_integrity(&mut self, seed: u64, ber_ppm: u64, ecc: bool) {
+        self.integrity = Some(Box::new(IntegrityEngine::new(seed, ber_ppm, ecc)));
+    }
+
+    /// Integrity counters, when the engine is armed.
+    pub fn integrity_stats(&self) -> Option<IntegrityStats> {
+        self.integrity.as_ref().map(|e| e.stats())
+    }
+
+    /// Extra read latency of the ECC syndrome check in bus cycles (one
+    /// when the ECC pipeline is modeled, zero otherwise).
+    pub fn ecc_read_delay_bus_cycles(&self) -> u64 {
+        u64::from(self.integrity.as_ref().is_some_and(|e| e.ecc_enabled()))
+    }
+
+    /// One background scrub check of `line` (see
+    /// [`IntegrityEngine::scrub_line`]); no-op without the engine.
+    pub fn scrub_line(&mut self, line: u64, backend: &MemoryBackend) {
+        if let Some(eng) = self.integrity.as_mut() {
+            eng.scrub_line(line, backend);
+        }
+    }
+
+    /// Accounts a scrub slot skipped because the controller was busy.
+    pub fn note_scrub_busy(&mut self) {
+        if let Some(eng) = self.integrity.as_mut() {
+            eng.note_scrub_busy();
+        }
     }
 
     /// Runs the fault-injection schedule for bus cycle `now`. Returns
@@ -554,6 +593,19 @@ impl Strategy {
     ) {
         follow.clear();
         self.stats.reads += 1;
+        // The device/ECC layer sees the read first: by the time bytes
+        // reach the decode chain below they are corrected — or the read
+        // is poisoned and a recovery path is appended after the arm.
+        let verdict = match self.integrity.take() {
+            Some(mut eng) => {
+                let compressed = self.actual_compressed(line, backend);
+                let primary = self.primary_subrank(line).0;
+                let v = eng.touch_read(line, primary, compressed, backend);
+                self.integrity = Some(eng);
+                Some(v)
+            }
+            None => None,
+        };
         match self.kind {
             MetadataStrategyKind::Baseline => {}
             MetadataStrategyKind::MetadataCache | MetadataStrategyKind::Oracle => {
@@ -654,6 +706,80 @@ impl Strategy {
                 }
             }
         }
+        if verdict == Some(EccVerdict::Poisoned) {
+            self.recover_poisoned(line, core, backend, follow);
+        }
+    }
+
+    /// Graceful degradation on a detected-uncorrectable read: each
+    /// strategy re-sources the line from whatever redundancy it has,
+    /// paying the traffic; Baseline has none and surfaces the loss as an
+    /// accounted machine-check outcome instead of panicking.
+    fn recover_poisoned(
+        &mut self,
+        line: u64,
+        core: u8,
+        backend: &MemoryBackend,
+        follow: &mut Vec<ReqSpec>,
+    ) {
+        let full_reread = ReqSpec {
+            line,
+            kind: AccessKind::Read,
+            width: AccessWidth::Full,
+            origin: Origin::Corrective { core },
+        };
+        match self.kind {
+            MetadataStrategyKind::Baseline => {
+                let eng = self.integrity.as_mut().expect("poison implies engine");
+                eng.surface_unrecoverable(line);
+                return;
+            }
+            MetadataStrategyKind::Oracle => {
+                // Ideal metadata: the bound re-reads at full width and
+                // recovers by fiat.
+                follow.push(full_reread);
+            }
+            MetadataStrategyKind::MetadataCache => {
+                // The cached metadata covering the line can no longer be
+                // trusted: invalidate it, re-install from DRAM, then
+                // re-read the data at full width.
+                let mc = self.meta_cache.as_mut().expect("metadata cache present");
+                mc.fault_invalidate_covering(line);
+                follow.push(ReqSpec {
+                    line: self.metadata_line_of(line),
+                    kind: AccessKind::Read,
+                    width: AccessWidth::Full,
+                    origin: Origin::MetadataInstall,
+                });
+                follow.push(full_reread);
+            }
+            MetadataStrategyKind::Attache => {
+                // The header bits travel inside the poisoned line, so
+                // the displaced-bit copy in the Replacement Area is the
+                // redundancy: refetch it, then the full-width line.
+                follow.push(ReqSpec {
+                    line: backend.ra_line_of(line),
+                    kind: AccessKind::Read,
+                    width: AccessWidth::Full,
+                    origin: Origin::ReplacementArea,
+                });
+                follow.push(full_reread);
+            }
+            MetadataStrategyKind::Cram => {
+                // The marker is implicit in the poisoned bytes: fetch
+                // the other half (full-width view) and consult the
+                // exception store for an escape-parked copy.
+                follow.push(ReqSpec {
+                    line: backend.ra_line_of(line),
+                    kind: AccessKind::Read,
+                    width: AccessWidth::Full,
+                    origin: Origin::ReplacementArea,
+                });
+                follow.push(full_reread);
+            }
+        }
+        let eng = self.integrity.as_mut().expect("poison implies engine");
+        eng.recover(line);
     }
 
     /// Plans a writeback of `line` (LLC dirty eviction) for `core`.
@@ -804,6 +930,13 @@ impl Strategy {
             // surface it).
             inj.note_write(line, wrote_collision);
         }
+        if let Some(eng) = self.integrity.as_mut() {
+            // The device cells are rewritten: snapshot the clean image
+            // and encode fresh check bytes. The plan's data width is
+            // the stored layout (half ⇔ compressed).
+            let compressed = matches!(plan.data.width, AccessWidth::Half(_));
+            eng.note_write(line, &backend.content(line), compressed);
+        }
         plan
     }
 
@@ -881,6 +1014,9 @@ impl Strategy {
         }
         if let Some(c) = self.cram.as_mut() {
             c.reset_stats();
+        }
+        if let Some(e) = self.integrity.as_mut() {
+            e.reset_stats();
         }
     }
 }

@@ -2,7 +2,8 @@
 
 use attache_core::copr::CoprConfig;
 use attache_dram::{
-    AccessKind, AddressMapping, Completion, MemRequest, MemoryBackend as DramBackend,
+    AccessKind, AccessWidth, AddressMapping, Completion, MemRequest,
+    MemoryBackend as DramBackend, Origin,
 };
 use attache_workloads::{MixWorkload, Profile, TraceGenerator};
 use std::cmp::Reverse;
@@ -58,6 +59,18 @@ impl Ord for DelayedReq {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.release_at, self.req.id).cmp(&(other.release_at, other.req.id))
     }
+}
+
+/// The background patrol-scrub walk: every `period` bus cycles, check one
+/// line's ECC (correcting latched single-bit upsets before they pair into
+/// uncorrectable doubles) and charge one `Origin::Scrub` read to the
+/// memory system. Fires only on idle cycles — a backlogged retry queue
+/// skips the interval and counts it instead of delaying demand traffic.
+#[derive(Debug)]
+struct ScrubState {
+    period: u64,
+    next_tick: u64,
+    cursor: u64,
 }
 
 #[derive(Debug)]
@@ -134,6 +147,9 @@ pub struct System {
     /// (`ATTACHE_EPOCH` / `ATTACHE_TRACE_RING` or their builders). A
     /// pure observer: never consulted by any model decision.
     observer: Option<Box<Observer>>,
+    /// Background ECC patrol scrub — present only when `ATTACHE_SCRUB`
+    /// (or `SimConfig::with_scrub`) set a period.
+    scrub: Option<ScrubState>,
 }
 
 // The experiment harness fans simulations out across worker threads, so a
@@ -245,6 +261,9 @@ impl System {
         if let Some(plan) = cfg.faults.clone() {
             strategy.enable_faults(plan);
         }
+        if cfg.integrity_armed() {
+            strategy.enable_integrity(seed, cfg.ber_ppm.unwrap_or(0), cfg.ecc);
+        }
         let observer = Observer::from_config(cfg);
         let mut mem =
             attache_dram::new_backend_with_shards(cfg.backend, cfg.dram, cfg.power, cfg.shards);
@@ -288,6 +307,11 @@ impl System {
             issue_env_gen: 0,
             fault_mem_action: false,
             observer,
+            scrub: cfg.scrub_period.map(|period| ScrubState {
+                period,
+                next_tick: period,
+                cursor: 0,
+            }),
         }
     }
 
@@ -405,6 +429,7 @@ impl System {
             }
         }
         self.inject_faults_tick();
+        self.scrub_tick();
         self.observe_tick();
     }
 
@@ -473,6 +498,13 @@ impl System {
         let nf = self.strategy.next_fault_tick();
         if nf != u64::MAX {
             horizon = horizon.min(nf.max(soon));
+        }
+        // A scrub check mutates model state (counters, possibly a
+        // correction) and submits a read, so its scheduled tick must run
+        // for real — clamped like fault injections so both engines scrub
+        // at identical cycles.
+        if let Some(scrub) = self.scrub.as_ref() {
+            horizon = horizon.min(scrub.next_tick.max(soon));
         }
         horizon
     }
@@ -579,6 +611,7 @@ impl System {
             self.cores = cores;
         }
         self.inject_faults_tick();
+        self.scrub_tick();
         self.observe_tick();
     }
 
@@ -637,6 +670,52 @@ impl System {
                 }
             }
         }
+    }
+
+    /// End-of-tick patrol-scrub hook: when the scrub clock expires on an
+    /// idle cycle (empty retry queue), functionally checks one line's ECC
+    /// and charges one untracked `Origin::Scrub` read; on a backlogged
+    /// cycle the interval is skipped and counted. Runs at the same cycle
+    /// in both engines — [`horizon`](Self::horizon) clamps to
+    /// `next_tick`, so the event engine executes the scheduled tick for
+    /// real. One `Option` check when scrub is off.
+    fn scrub_tick(&mut self) {
+        let Some(scrub) = self.scrub.as_mut() else {
+            return;
+        };
+        let now = self.mem.now();
+        if now < scrub.next_tick {
+            return;
+        }
+        // Catch up past `now` in one pass so a tiny period can never pin
+        // `next_tick` in the past (which would force the event engine
+        // into per-cycle polling forever).
+        while scrub.next_tick <= now {
+            scrub.next_tick += scrub.period;
+        }
+        let lines = self.backend.occupied_lines();
+        if lines == 0 {
+            return;
+        }
+        if !self.retry_q.is_empty() {
+            self.strategy.note_scrub_busy();
+            return;
+        }
+        // Workload regions are packed contiguously from address zero, so
+        // the wrap-around cursor is itself a valid line address.
+        let line = scrub.cursor % lines;
+        scrub.cursor += 1;
+        self.strategy.scrub_line(line, &self.backend);
+        let spec = crate::strategy::ReqSpec {
+            line,
+            kind: AccessKind::Read,
+            width: AccessWidth::Full,
+            origin: Origin::Scrub,
+        };
+        // Untracked: `on_completion` ignores reads with no transaction,
+        // so the scrub read costs bandwidth/energy without blocking
+        // anything.
+        self.submit_spec(spec, 0, None);
     }
 
     /// Cooperative watchdog: panics with a typed
@@ -786,7 +865,10 @@ impl System {
         let txn_id = self.next_txn;
         self.next_txn += 1;
         let plan = self.strategy.plan_read(line, core as u8, &self.backend);
-        let delay = self.strategy.lookup_delay_bus_cycles();
+        // The ECC pipeline's syndrome check adds a bus cycle to every
+        // demand-read path when enabled (zero when the engine is off).
+        let delay =
+            self.strategy.lookup_delay_bus_cycles() + self.strategy.ecc_read_delay_bus_cycles();
         for side in plan.side {
             self.submit_spec(side, delay, None);
         }
@@ -959,6 +1041,7 @@ impl System {
             ra: self.strategy.ra_stats(),
             metadata_cache: self.strategy.metadata_cache_stats(),
             cram: self.strategy.cram_stats(),
+            integrity: self.strategy.integrity_stats(),
         }
     }
 }

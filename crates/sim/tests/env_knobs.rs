@@ -82,6 +82,31 @@ fn env_knob_parsing_is_total() {
     std::env::remove_var("ATTACHE_JOB_TICK_BUDGET");
     assert_eq!(SimConfig::table2_baseline().tick_budget, None);
 
+    // The integrity knobs ride the same contracts: BER and scrub on the
+    // optional-u64 path (unset / "" / "0" / typo all disarm), ECC on the
+    // boolean path — and a fully-disarmed environment must leave
+    // `integrity_armed()` false so no engine is ever constructed.
+    std::env::set_var("ATTACHE_BER", "many");
+    std::env::set_var("ATTACHE_ECC", "0");
+    std::env::set_var("ATTACHE_SCRUB", "");
+    let cfg = SimConfig::table2_baseline();
+    assert_eq!(cfg.ber_ppm, None, "a typo'd ATTACHE_BER must fall back to disabled");
+    assert!(!cfg.ecc);
+    assert_eq!(cfg.scrub_period, None);
+    assert!(!cfg.integrity_armed(), "disarmed knobs must not construct an engine");
+    std::env::set_var("ATTACHE_BER", "40000");
+    std::env::set_var("ATTACHE_ECC", "1");
+    std::env::set_var("ATTACHE_SCRUB", "500");
+    let cfg = SimConfig::table2_baseline();
+    assert_eq!(cfg.ber_ppm, Some(40_000));
+    assert!(cfg.ecc);
+    assert_eq!(cfg.scrub_period, Some(500));
+    assert!(cfg.integrity_armed());
+    std::env::remove_var("ATTACHE_BER");
+    std::env::remove_var("ATTACHE_ECC");
+    std::env::remove_var("ATTACHE_SCRUB");
+    assert!(!SimConfig::table2_baseline().integrity_armed());
+
     // ATTACHE_BACKEND follows the warn-don't-panic contract too: a typo
     // mid-sweep warns and falls back to the cycle reference, never
     // panics (the bench::grid regression this PR fixes).

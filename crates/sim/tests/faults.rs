@@ -441,3 +441,46 @@ fn ra_corruption_is_detected_and_attributed() {
         }
     }
 }
+
+#[test]
+fn accounting_invariant_holds_for_every_strategy_and_engine() {
+    // The property-test form of the invariant that the injector also
+    // debug-asserts at every counter mutation (see
+    // `FaultStats::accounting_violation`): every outcome was once an
+    // injection, so per class `injected >= detected + absorbed +
+    // undetected` — with `skipped` outside the inequality, because a
+    // skipped event never applied a perturbation. Plans are drawn from a
+    // seeded generator and the runs cover all five strategies under both
+    // engines; the runs themselves also execute the debug assertions at
+    // each mutation site.
+    let mut gen = attache_testkit::Gen::new(0xACC0);
+    for strategy in MetadataStrategyKind::ALL {
+        for engine in ENGINES {
+            let plan = FaultPlan {
+                seed: gen.next_u64(),
+                period: 100 + gen.below(1_900),
+                classes: FaultClass::ALL.to_vec(),
+                max: None,
+            };
+            let cfg = chaos_config(engine)
+                .with_strategy(strategy)
+                .with_instructions(8_000, 0)
+                .with_faults(Some(plan));
+            let profile = if strategy == MetadataStrategyKind::Cram {
+                cram_chaos_profile()
+            } else {
+                chaos_profile()
+            };
+            let (_, obs) = System::run_rate_mode_observed(&cfg, profile, gen.next_u64());
+            let reg = obs.expect("trace ring arms the observer").registry;
+            for class in FaultClass::ALL {
+                let [inj, det, abs, undet] = fault_counters(&reg, class);
+                assert!(
+                    inj >= det + abs + undet,
+                    "{strategy} {engine:?} {class}: accounting violated \
+                     (injected {inj} < detected {det} + absorbed {abs} + undetected {undet})"
+                );
+            }
+        }
+    }
+}

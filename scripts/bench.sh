@@ -10,7 +10,20 @@
 #     every sharded run is asserted bit-identical to serial before its
 #     wall time counts, and the host's available parallelism is recorded
 #     so single-thread numbers read as what they are)
+#   * the data-integrity figure             -> results/BENCH_integrity.json
+#     (corrected/uncorrectable/silent-corruption rates and error
+#     amplification across all five strategies x a BER sweep, with an
+#     engine/shard bit-identity preamble and a trajectory row)
 # over the memory-bound profile grid, writing wall times and speedups.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke                reduced-tick mode for CI: forces the quick
+#                          configuration with a single repeat and runs
+#                          only the benches that append to
+#                          results/BENCH_trajectory.tsv (compress +
+#                          integrity), so every PR lands a dated
+#                          trajectory row and fresh BENCH_*.json files
+#                          in about a minute.
 #
 # Knobs (all optional, same semantics as the experiment harness):
 #   ATTACHE_QUICK=1        fast smoke configuration (40k/8k instructions)
@@ -22,10 +35,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+    export ATTACHE_QUICK=1
+    export ATTACHE_BENCH_REPEAT=1
+fi
+
 export ATTACHE_BENCH_REPEAT="${ATTACHE_BENCH_REPEAT:-3}"
 
 cargo build --release -p attache-bench
-./target/release/bench_engine
-./target/release/bench_backend
-./target/release/bench_compress
-./target/release/bench_shards
+if [[ "$SMOKE" == "1" ]]; then
+    ./target/release/bench_compress
+    ./target/release/fig_integrity
+else
+    ./target/release/bench_engine
+    ./target/release/bench_backend
+    ./target/release/bench_compress
+    ./target/release/bench_shards
+    ./target/release/fig_integrity
+fi

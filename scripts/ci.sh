@@ -86,6 +86,32 @@ echo "=== CRAM strategy suites under ATTACHE_ENGINE=event ==="
 ATTACHE_ENGINE=event cargo test -q -p attache-sim --release \
     --test cram_collision --test strategy_exhaustiveness
 
+# End-to-end data integrity (docs/FAULTS.md): device soft errors below
+# the (72,64) SEC-DED pipeline, poison propagation with per-strategy
+# recovery, and the background scrub engine. The suite drives the
+# backend and shard axes through builders internally, so one pass per
+# ambient engine covers engines x backends; a third pass under
+# ATTACHE_SHARDS=2 proves the armed paths hold verbatim on a threaded
+# run. The dram crate's ecc/soft_error unit suites ride along.
+echo "=== data integrity under ATTACHE_ENGINE=cycle ==="
+ATTACHE_ENGINE=cycle cargo test -q -p attache-sim --release --test integrity
+ATTACHE_ENGINE=cycle cargo test -q -p attache-dram --release -- ecc soft_error
+
+echo "=== data integrity under ATTACHE_ENGINE=event ==="
+ATTACHE_ENGINE=event cargo test -q -p attache-sim --release --test integrity
+ATTACHE_ENGINE=event cargo test -q -p attache-dram --release -- ecc soft_error
+
+echo "=== data integrity under ATTACHE_SHARDS=2 ==="
+ATTACHE_SHARDS=2 cargo test -q -p attache-sim --release --test integrity
+
+# Golden compatibility: with every integrity knob explicitly disarmed
+# the engine is never constructed, so the pinned goldens must pass
+# byte-identical — a knobs-off run that drifted would fail here, not in
+# a downstream PR.
+echo "=== golden stats with integrity knobs explicitly off ==="
+ATTACHE_BER=0 ATTACHE_ECC=0 ATTACHE_SCRUB=0 \
+    cargo test -q -p attache-sim --release --test golden_stats
+
 # Backend conformance (docs/BACKENDS.md): the dram crate's referee
 # replays identical request streams through the cycle and fast backends
 # and fails when divergence leaves the documented tolerance envelope;
@@ -166,5 +192,13 @@ cargo clippy -p attache-testkit --all-targets -- -D warnings
 
 echo "=== cargo clippy (attache-metrics) -- -D warnings ==="
 cargo clippy -p attache-metrics --all-targets -- -D warnings
+
+# Benchmark smoke: the reduced-tick bench pass appends a dated row to
+# results/BENCH_trajectory.tsv and refreshes BENCH_*.json, so every PR
+# leaves a performance/integrity data point behind (and the bench bins
+# themselves — including fig_integrity's engine/shard bit-identity
+# preamble — are exercised end-to-end).
+echo "=== bench smoke (scripts/bench.sh --smoke) ==="
+bash scripts/bench.sh --smoke
 
 echo "CI OK"
